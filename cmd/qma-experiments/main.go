@@ -1,0 +1,63 @@
+// Command qma-experiments regenerates the tables and figures of the paper's
+// evaluation.
+//
+// Usage:
+//
+//	qma-experiments               # run everything at quick scale
+//	qma-experiments -full         # paper-scale parameters (15 reps, 1000 pkts)
+//	qma-experiments -run fig07-09 # one experiment
+//	qma-experiments -list         # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"qma/internal/experiments"
+)
+
+func main() {
+	full := flag.Bool("full", false, "paper-scale parameters (slower)")
+	run := flag.String("run", "", "run a single experiment id (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	reps := flag.Int("reps", 0, "override the number of replications")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	mode := experiments.Quick()
+	if *full {
+		mode = experiments.Full()
+	}
+	if *reps > 0 {
+		mode.Reps = *reps
+	}
+	mode.Parallel = runtime.NumCPU()
+
+	start := time.Now()
+	if *run != "" {
+		tables, ok := experiments.Run(*run, mode)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; ids:\n", *run)
+			for _, id := range experiments.IDs() {
+				fmt.Fprintln(os.Stderr, "  "+id)
+			}
+			os.Exit(1)
+		}
+		for _, t := range tables {
+			t.Render(os.Stdout)
+		}
+	} else {
+		fmt.Printf("# qma experiment suite (%s mode, %d reps)\n\n", mode.Name, mode.Reps)
+		experiments.RunAll(mode, os.Stdout)
+	}
+	fmt.Printf("# done in %v\n", time.Since(start).Round(time.Millisecond))
+}

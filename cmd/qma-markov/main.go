@@ -1,0 +1,39 @@
+// Command qma-markov evaluates the Appendix A.1 handshake analysis: the
+// expected number of messages until a DSME 3-way GTS handshake completes,
+// for one success probability or a sweep (Fig. 26).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qma/internal/markov"
+	"qma/internal/sim"
+)
+
+func main() {
+	p := flag.Float64("p", 0, "single success probability (0 = sweep 1.0..0.1)")
+	samples := flag.Int("samples", 200000, "Monte Carlo handshakes per point")
+	flag.Parse()
+
+	rng := sim.NewRand(7)
+	row := func(p float64) {
+		mx := markov.ExpectedHandshakeMessages(p)
+		cf := markov.ExpectedHandshakeMessagesClosedForm(p)
+		mc := markov.SimulateHandshakes(p, *samples, rng)
+		fmt.Printf("%4.2f  %10.2f  %10.2f  %10.2f\n", p, mx, cf, mc)
+	}
+	fmt.Printf("%4s  %10s  %10s  %10s\n", "p", "matrix", "closed", "monteCarlo")
+	if *p > 0 {
+		if *p > 1 {
+			fmt.Fprintln(os.Stderr, "qma-markov: p must be in (0,1]")
+			os.Exit(1)
+		}
+		row(*p)
+		return
+	}
+	for x := 10; x >= 1; x-- {
+		row(float64(x) / 10)
+	}
+}

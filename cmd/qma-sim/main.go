@@ -1,0 +1,118 @@
+// Command qma-sim runs a single scenario from flags and prints per-node
+// metrics — the quickest way to poke at the simulator.
+//
+// Example:
+//
+//	qma-sim -topology hidden -mac qma -delta 25 -duration 200 -seed 1
+//	qma-sim -topology rings3 -mac unslotted -dsme -duration 400
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"qma"
+)
+
+func main() {
+	topology := flag.String("topology", "hidden", "hidden | tree | star | rings1..rings4")
+	mac := flag.String("mac", "qma", "qma | unslotted | slotted")
+	delta := flag.Float64("delta", 10, "packet generation rate per source [pkt/s]")
+	duration := flag.Float64("duration", 200, "simulated seconds")
+	warmup := flag.Float64("warmup", 50, "seconds before evaluation traffic / measurement")
+	seed := flag.Uint64("seed", 1, "random seed")
+	useDSME := flag.Bool("dsme", false, "run the DSME GTS scenario instead of plain contention")
+	flag.Parse()
+
+	topo, err := parseTopology(*topology)
+	fatalIf(err)
+	mk, err := parseMAC(*mac)
+	fatalIf(err)
+
+	if *useDSME {
+		res, err := (&qma.DSMEScenario{
+			Topology:        topo,
+			MAC:             mk,
+			Seed:            *seed,
+			DurationSeconds: *duration,
+			WarmupSeconds:   *warmup,
+		}).Run()
+		fatalIf(err)
+		fmt.Printf("secondary PDR        %.3f\n", res.SecondaryPDR)
+		fmt.Printf("GTS-request success  %.3f\n", res.RequestSuccess)
+		fmt.Printf("(de)allocations/s    %.2f\n", res.AllocationsPerSecond)
+		fmt.Printf("primary PDR          %.3f (delay %.3fs)\n", res.PrimaryPDR, res.PrimaryDelaySeconds)
+		fmt.Printf("duplicate GTS        %d\n", res.DuplicateAllocations)
+		return
+	}
+
+	sc := &qma.Scenario{
+		Topology:           topo,
+		MAC:                mk,
+		Seed:               *seed,
+		DurationSeconds:    *duration,
+		MeasureFromSeconds: *warmup,
+	}
+	sink := topo.Sink()
+	for i := 0; i < topo.NumNodes(); i++ {
+		if i == sink {
+			continue
+		}
+		sc.Traffic = append(sc.Traffic,
+			qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: 0.2}}, StartSeconds: 1, Management: true},
+			qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: *delta}}, StartSeconds: *warmup},
+		)
+	}
+	res, err := sc.Run()
+	fatalIf(err)
+
+	fmt.Printf("network PDR  %.3f   mean delay %.3fs\n\n", res.NetworkPDR, res.MeanDelaySeconds)
+	fmt.Printf("%-6s %-5s %-9s %-9s %-7s %-8s %s\n", "node", "pdr", "delay[s]", "queue", "tx", "drops", "policy")
+	for _, n := range res.Nodes {
+		if n.Generated == 0 && n.TxAttempts == 0 {
+			continue
+		}
+		fmt.Printf("%-6s %-5.3f %-9.3f %-9.2f %-7d %-8d %s\n",
+			n.Label, n.PDR, n.MeanDelaySeconds, n.AvgQueueLevel,
+			n.TxAttempts, n.RetryDrops+n.QueueDrops, n.Policy)
+	}
+}
+
+func parseTopology(s string) (*qma.Topology, error) {
+	switch s {
+	case "hidden":
+		return qma.HiddenNode(), nil
+	case "tree":
+		return qma.Tree10(), nil
+	case "star":
+		return qma.Star17(), nil
+	}
+	if strings.HasPrefix(s, "rings") {
+		var k int
+		if _, err := fmt.Sscanf(s, "rings%d", &k); err == nil {
+			return qma.Rings(k)
+		}
+	}
+	return nil, fmt.Errorf("unknown topology %q", s)
+}
+
+func parseMAC(s string) (qma.MAC, error) {
+	switch s {
+	case "qma":
+		return qma.QMA, nil
+	case "unslotted":
+		return qma.CSMAUnslotted, nil
+	case "slotted":
+		return qma.CSMASlotted, nil
+	}
+	return 0, fmt.Errorf("unknown MAC %q", s)
+}
+
+func fatalIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qma-sim:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+// Adaptability (paper Fig. 12): node A alternates between δ=10 and δ=100
+// every 100 s while node C joins late with constant δ=25. The cumulative
+// Q-value series shows the policies re-converging after every change.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"qma"
+)
+
+func main() {
+	sc := &qma.Scenario{
+		Topology:        qma.HiddenNode(),
+		MAC:             qma.QMA,
+		Seed:            1,
+		DurationSeconds: 600,
+		Traffic: []qma.Traffic{
+			{Origin: 0, Phases: []qma.Phase{
+				{Rate: 10, Seconds: 100},
+				{Rate: 100, Seconds: 100},
+			}},
+			{Origin: 2, Phases: []qma.Phase{{Rate: 25}}, StartSeconds: 100},
+		},
+		SampleSeries: true,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("cumulative Q-values per frame (ASCII sparkline, 1 column ≈ 5 s):")
+	for _, id := range []int{0, 2} {
+		n := res.Nodes[id]
+		fmt.Printf("  node %s %s\n", n.Label, sparkline(n.CumulativeQ, 100))
+	}
+	fmt.Println("\nnode A's series steps at every rate change (100 s, 200 s, ...);")
+	fmt.Println("node C settles even though it joined a formed network late.")
+	fmt.Printf("\nfinal policies:\n  A %s\n  C %s\n", res.Nodes[0].Policy, res.Nodes[2].Policy)
+}
+
+// sparkline squeezes a series into width buckets of ▁▂▃▄▅▆▇█ glyphs.
+func sparkline(pts []qma.Point, width int) string {
+	if len(pts) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := pts[0].V, pts[0].V
+	for _, p := range pts {
+		if p.V < lo {
+			lo = p.V
+		}
+		if p.V > hi {
+			hi = p.V
+		}
+	}
+	if hi == lo {
+		hi = lo + 1
+	}
+	var b strings.Builder
+	step := float64(len(pts)) / float64(width)
+	for i := 0; i < width; i++ {
+		v := pts[int(float64(i)*step)].V
+		idx := int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		b.WriteRune(glyphs[idx])
+	}
+	return b.String()
+}

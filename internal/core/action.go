@@ -1,0 +1,65 @@
+// Package core implements QMA itself (§4): the Q-learning channel access
+// engine that runs Algorithm 1 over the CAP subslots, the reward function of
+// Eqs. 6–8, cautious startup (§4.3) and parameter-based exploration (§4.2).
+// It embeds the shared MAC base (internal/mac), so everything except the
+// access discipline — queues, ACKs, retries, forwarding — is identical
+// between QMA and the CSMA/CA baselines.
+package core
+
+import "fmt"
+
+// Action is one of QMA's three channel access actions (§4).
+type Action uint8
+
+const (
+	// QBackoff waits for the next subslot.
+	QBackoff Action = iota
+	// QCCA performs a clear channel assessment, transmits on an idle channel
+	// and backs off to the next subslot otherwise.
+	QCCA
+	// QSend transmits immediately without assessing the channel (the
+	// high-risk, high-reward priority action).
+	QSend
+	// NumActions is the size of the action space.
+	NumActions = 3
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case QBackoff:
+		return "QBackoff"
+	case QCCA:
+		return "QCCA"
+	case QSend:
+		return "QSend"
+	default:
+		return fmt.Sprintf("Action(%d)", uint8(a))
+	}
+}
+
+// Rewards of Eqs. 6–8. The values balance the three actions against each
+// other; the paper stresses they are the result of extensive experimentation
+// (e.g. raising RewardSendSuccess to 8 makes every node spam QSend).
+const (
+	// RewardBackoffOverhear is Eq. 6: a DATA or ACK frame was overheard
+	// while backing off — the subslot is owned by a neighbour.
+	RewardBackoffOverhear = 2
+	// RewardBackoffIdle is Eq. 6: nothing was overheard.
+	RewardBackoffIdle = 0
+	// RewardCCASuccessTx is Eq. 7: CCA idle and the transmission succeeded.
+	RewardCCASuccessTx = 3
+	// RewardCCAFailedTx is Eq. 7: CCA idle but the transmission failed.
+	RewardCCAFailedTx = -2
+	// RewardCCABusy is Eq. 7: the CCA found the channel busy.
+	RewardCCABusy = 1
+	// RewardSendSuccess is Eq. 8: QSend succeeded.
+	RewardSendSuccess = 4
+	// RewardSendFail is Eq. 8: QSend collided.
+	RewardSendFail = -3
+	// StartupPunishCCA and StartupPunishSend are the §4.3 cautious-startup
+	// punishments recorded for subslots in which foreign traffic was
+	// overheard.
+	StartupPunishCCA  = -2
+	StartupPunishSend = -3
+)

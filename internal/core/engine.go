@@ -1,0 +1,394 @@
+package core
+
+import (
+	"fmt"
+
+	"qma/internal/frame"
+	"qma/internal/mac"
+	"qma/internal/qlearn"
+	"qma/internal/sim"
+)
+
+// Config assembles a QMA engine.
+type Config struct {
+	// MAC configures the shared MAC base (node id, kernel, medium, clock,
+	// queue, routing). Config.OnOverhear is owned by the engine and must be
+	// nil.
+	MAC mac.Config
+	// Table is the Q-value storage. Nil selects a float64 table with Learn
+	// parameters; pass a FixedTable or QuantTable for the embedded variants.
+	Table qlearn.Table
+	// Learn are the hyperparameters used when Table is nil (zero value
+	// selects qlearn.DefaultParams).
+	Learn qlearn.Params
+	// Explorer decides the exploration rate ρ. Nil selects the paper's
+	// parameter-based strategy (Fig. 4 table).
+	Explorer qlearn.Explorer
+	// Rng drives exploration decisions; required.
+	Rng *sim.Rand
+	// StartupSubslots is Δ, the number of subslots of cautious startup
+	// (§4.3). Negative selects the default of two full frames; 0 disables
+	// cautious startup.
+	StartupSubslots int
+	// StartupPunish applies the §4.3 punishments to QCCA/QSend for subslots
+	// with overheard traffic. DefaultConfig enables it.
+	StartupPunish bool
+	// ReevalOnDecay is the ablation switch forwarded to the learner.
+	ReevalOnDecay bool
+}
+
+// Stats aggregates QMA-specific counters on top of the shared mac.Stats.
+type Stats struct {
+	// ActionCount counts executed actions by type (exploration and policy).
+	ActionCount [NumActions]uint64
+	// Explorations counts randomly selected actions.
+	Explorations uint64
+	// Decisions counts Algorithm 1 invocations (subslots with a non-empty
+	// queue after startup).
+	Decisions uint64
+	// Deferrals counts transmissions postponed because the transaction did
+	// not fit into the remaining CAP.
+	Deferrals uint64
+	// StartupObservations counts cautious-startup subslot observations.
+	StartupObservations uint64
+}
+
+// pending tracks an action whose reward is not yet known (the paper saves
+// state and action until the outcome is observable, §4).
+type pending struct {
+	subslot int
+	action  Action
+	startup bool
+}
+
+// Engine is one node's QMA MAC. It is driven entirely by its kernel; after
+// Start it needs no external calls besides Enqueue.
+type Engine struct {
+	base *mac.Base
+
+	learner  *qlearn.Learner
+	explorer qlearn.Explorer
+	rng      *sim.Rand
+
+	startupLeft   int
+	startupPunish bool
+
+	armed    *sim.Event
+	pend     *pending
+	overhear bool
+
+	stats Stats
+
+	// rhoSum/rhoCount accumulate exploration rates between TakeRhoSample
+	// calls (Fig. 11 instrumentation).
+	rhoSum   float64
+	rhoCount int
+
+	// actionCounts[s][a] counts executed actions per subslot since the last
+	// ResetActionCounts (Fig. 13–15 slot-utilization instrumentation).
+	actionCounts [][NumActions]uint64
+}
+
+var _ mac.Engine = (*Engine)(nil)
+
+// New assembles an engine from cfg. It panics on an invalid configuration;
+// scenario builders construct engines at assembly time.
+func New(cfg Config) *Engine {
+	if cfg.Rng == nil {
+		panic("core: Rng is required")
+	}
+	if cfg.MAC.OnOverhear != nil || cfg.MAC.OnAccept != nil {
+		panic("core: MAC.OnOverhear and MAC.OnAccept are owned by the engine")
+	}
+	if cfg.MAC.Clock == nil {
+		panic("core: MAC.Clock is required")
+	}
+	subslots := cfg.MAC.Clock.Config().Subslots
+	table := cfg.Table
+	if table == nil {
+		p := cfg.Learn
+		if p == (qlearn.Params{}) {
+			p = qlearn.DefaultParams()
+		}
+		table = qlearn.NewFloatTable(subslots, NumActions, p)
+	}
+	if table.States() != subslots || table.Actions() != NumActions {
+		panic(fmt.Sprintf("core: table dimensions %dx%d, want %dx%d",
+			table.States(), table.Actions(), subslots, NumActions))
+	}
+	explorer := cfg.Explorer
+	if explorer == nil {
+		explorer = qlearn.NewParameterBased()
+	}
+	if cfg.StartupSubslots < 0 {
+		cfg.StartupSubslots = 2 * subslots
+	}
+
+	e := &Engine{
+		learner:       qlearn.NewLearner(table, int(QBackoff)),
+		explorer:      explorer,
+		rng:           cfg.Rng,
+		startupLeft:   cfg.StartupSubslots,
+		startupPunish: cfg.StartupPunish,
+		actionCounts:  make([][NumActions]uint64, subslots),
+	}
+	e.learner.SetReevalOnDecay(cfg.ReevalOnDecay)
+	cfg.MAC.OnOverhear = e.onOverhear
+	cfg.MAC.OnAccept = e.arm
+	e.base = mac.NewBase(cfg.MAC)
+	return e
+}
+
+// Learner exposes the Q-learning state for instrumentation and tests.
+func (e *Engine) Learner() *qlearn.Learner { return e.learner }
+
+// EngineStats returns a copy of the QMA-specific counters.
+func (e *Engine) EngineStats() Stats { return e.stats }
+
+// Base implements mac.Engine.
+func (e *Engine) Base() *mac.Base { return e.base }
+
+// Deliver implements radio.Handler by delegating to the shared receive path.
+func (e *Engine) Deliver(f *frame.Frame) { e.base.Deliver(f) }
+
+// Start implements mac.Engine: it arms the subslot ticker.
+func (e *Engine) Start() { e.arm() }
+
+// Enqueue implements mac.Engine, re-arming the ticker when traffic arrives.
+func (e *Engine) Enqueue(f *frame.Frame) bool {
+	ok := e.base.Enqueue(f)
+	if ok {
+		e.arm()
+	}
+	return ok
+}
+
+// CumulativePolicyQ reports Σ_m Q(m, π(m)), the Fig. 10 / Fig. 12 stability
+// metric.
+func (e *Engine) CumulativePolicyQ() float64 { return e.learner.CumulativePolicyQ() }
+
+// TakeRhoSample reports the mean exploration rate ρ over all decisions since
+// the previous call (Fig. 11 instrumentation) and the number of decisions it
+// averages over.
+func (e *Engine) TakeRhoSample() (mean float64, n int) {
+	n = e.rhoCount
+	if n > 0 {
+		mean = e.rhoSum / float64(n)
+	}
+	e.rhoSum, e.rhoCount = 0, 0
+	return mean, n
+}
+
+// ActionCounts returns a copy of the per-subslot action counters (Fig. 13–15
+// slot utilization).
+func (e *Engine) ActionCounts() [][NumActions]uint64 {
+	return append([][NumActions]uint64(nil), e.actionCounts...)
+}
+
+// ResetActionCounts clears the per-subslot action counters.
+func (e *Engine) ResetActionCounts() {
+	for i := range e.actionCounts {
+		e.actionCounts[i] = [NumActions]uint64{}
+	}
+}
+
+// arm schedules the next subslot tick unless one is already scheduled.
+func (e *Engine) arm() {
+	if e.armed != nil && !e.armed.Canceled() && e.armed.At() > e.base.Kernel().Now() {
+		return
+	}
+	next := e.base.Clock().NextSubslotStart(e.base.Kernel().Now())
+	e.armed = e.base.Kernel().At(next, e.tick)
+}
+
+// needTick reports whether the engine has any reason to observe the next
+// subslot boundary.
+func (e *Engine) needTick() bool {
+	return e.pend != nil || e.startupLeft > 0 || !e.base.Queue().Empty() || e.base.Busy()
+}
+
+// tick runs at every subslot boundary while the engine is active. It first
+// evaluates a pending backoff-type action (QEvaluation in Fig. 2), then
+// makes the next decision (QDecision).
+func (e *Engine) tick() {
+	now := e.base.Kernel().Now()
+	m := e.base.Clock().Subslot(now)
+	if m < 0 {
+		// Boundary fell outside the CAP (cannot happen with valid subslot
+		// boundaries, but guard against clock misconfiguration).
+		e.armIfNeeded()
+		return
+	}
+
+	if e.pend != nil {
+		e.evaluateBackoff(m)
+	}
+
+	switch {
+	case e.base.Busy():
+		// A transmission, ACK wait or ACK duty is in progress; the outcome
+		// callback performs the Q-update.
+	case e.startupLeft > 0:
+		e.startupObserve(m)
+	case e.base.Queue().Empty():
+		// "If no more packets are available for transmission, no action is
+		// selected" (§6.1.3).
+	default:
+		e.decide(m)
+	}
+	e.armIfNeeded()
+}
+
+func (e *Engine) armIfNeeded() {
+	if e.needTick() {
+		e.arm()
+	}
+}
+
+// evaluateBackoff finalizes a QBackoff (or cautious-startup observation)
+// whose reward window just closed. nextSubslot is the subslot the agent
+// arrived in.
+func (e *Engine) evaluateBackoff(nextSubslot int) {
+	p := e.pend
+	e.pend = nil
+	reward := float64(RewardBackoffIdle)
+	if e.overhear {
+		reward = RewardBackoffOverhear
+	}
+	e.learner.Observe(p.subslot, int(QBackoff), reward, nextSubslot)
+	if p.startup && e.startupPunish && e.overhear {
+		// Mark the subslot as foreign-owned in the QCCA and QSend rows too,
+		// biasing the node against claiming it (§4.3).
+		e.learner.Observe(p.subslot, int(QCCA), StartupPunishCCA, nextSubslot)
+		e.learner.Observe(p.subslot, int(QSend), StartupPunishSend, nextSubslot)
+	}
+	e.overhear = false
+}
+
+// startupObserve performs one cautious-startup subslot: QBackoff only.
+func (e *Engine) startupObserve(m int) {
+	e.startupLeft--
+	e.stats.StartupObservations++
+	e.pend = &pending{subslot: m, action: QBackoff, startup: true}
+	e.overhear = false
+}
+
+// decide runs one Algorithm 1 step at subslot m.
+func (e *Engine) decide(m int) {
+	e.stats.Decisions++
+	rho := e.explorer.Rate(qlearn.ExploreContext{
+		Now:              e.base.Kernel().Now(),
+		QueueLevel:       e.base.Queue().Len(),
+		AvgNeighborQueue: e.base.AvgNeighborQueue(),
+	})
+	e.rhoSum += rho
+	e.rhoCount++
+
+	var action Action
+	if e.rng.Float64() < rho {
+		action = Action(e.rng.Intn(NumActions))
+		e.stats.Explorations++
+	} else {
+		action = Action(e.learner.Policy(m))
+	}
+	e.execute(m, action)
+}
+
+// execute performs the selected action.
+func (e *Engine) execute(m int, action Action) {
+	e.stats.ActionCount[action]++
+	e.actionCounts[m][action]++
+	switch action {
+	case QBackoff:
+		e.pend = &pending{subslot: m, action: QBackoff}
+		e.overhear = false
+	case QCCA:
+		e.startCCA(m)
+	case QSend:
+		e.startTX(m, QSend)
+	}
+}
+
+// startCCA samples the channel at the end of the 8-symbol CCA window, so
+// that a QSend started at the same boundary is visible to it.
+func (e *Engine) startCCA(m int) {
+	now := e.base.Kernel().Now()
+	e.base.ExtendBusy(now + frame.CCADuration)
+	e.base.Kernel().Schedule(frame.CCADuration, func() {
+		if !e.base.Medium().CCA(e.base.ID()) {
+			// Channel busy: reward 1 and back off to the next subslot
+			// (Eq. 7, the QCCA(fail) edge of Fig. 3).
+			next := e.nextDecisionSubslot()
+			e.learner.Observe(m, int(QCCA), RewardCCABusy, next)
+			return
+		}
+		e.startTX(m, QCCA)
+	})
+}
+
+// startTX transmits the queue head (for QCCA the CCA window has already
+// elapsed, so the transmission starts 8 symbols into the subslot).
+func (e *Engine) startTX(m int, action Action) {
+	f := e.base.Queue().Head()
+	if f == nil {
+		// The queue drained while the CCA ran (cannot currently happen: the
+		// head is only removed by outcomes, and no outcome can interleave
+		// with a CCA). Treat as a no-op.
+		return
+	}
+	now := e.base.Kernel().Now()
+	cost := f.Duration()
+	if !f.IsBroadcast() {
+		cost += frame.AckWait
+	}
+	if !e.base.Clock().FitsInCAP(now, cost) {
+		// Defer to the next CAP without a Q-update (802.15.4 rule: the
+		// transaction must complete before the CAP ends; DESIGN.md §6).
+		e.stats.Deferrals++
+		return
+	}
+	e.base.SendFrame(f, func(success bool) {
+		e.finishTX(m, action, f, success)
+	})
+}
+
+// finishTX applies the Eq. 7/8 reward once the outcome of a transmission is
+// known, then lets the retry policy decide the frame's fate.
+func (e *Engine) finishTX(m int, action Action, f *frame.Frame, success bool) {
+	var reward float64
+	if action == QSend {
+		if success {
+			reward = RewardSendSuccess
+		} else {
+			reward = RewardSendFail
+		}
+	} else {
+		if success {
+			reward = RewardCCASuccessTx
+		} else {
+			reward = RewardCCAFailedTx
+		}
+	}
+	next := e.nextDecisionSubslot()
+	e.learner.Observe(m, int(action), reward, next)
+	e.base.FinishFrame(f, success)
+	e.armIfNeeded()
+}
+
+// nextDecisionSubslot reports the subslot of the first boundary at which the
+// agent can act again — the successor state m_{t+i} of Algorithm 1.
+func (e *Engine) nextDecisionSubslot() int {
+	return e.base.Clock().Subslot(e.base.Clock().NextSubslotStart(e.base.Kernel().Now()))
+}
+
+// onOverhear is installed as the MAC overhear hook: any decoded DATA, ACK or
+// command frame marks the current backoff window as "subslot in use"
+// (Eq. 6). Beacons are infrastructure and do not count.
+func (e *Engine) onOverhear(f *frame.Frame) {
+	if f.Kind == frame.Beacon {
+		return
+	}
+	if e.pend != nil {
+		e.overhear = true
+	}
+}

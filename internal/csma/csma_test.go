@@ -1,0 +1,165 @@
+package csma
+
+import (
+	"testing"
+
+	"qma/internal/frame"
+	"qma/internal/mac"
+	"qma/internal/radio"
+	"qma/internal/sim"
+	"qma/internal/superframe"
+)
+
+type rig struct {
+	k       *sim.Kernel
+	m       *radio.Medium
+	clock   *superframe.Clock
+	engines []*Engine
+}
+
+func newRig(t *testing.T, links [][2]int, n int, variant Variant) *rig {
+	t.Helper()
+	g := radio.NewGraphTopology(n)
+	for _, l := range links {
+		g.AddLink(frame.NodeID(l[0]), frame.NodeID(l[1]))
+	}
+	k := sim.NewKernel()
+	m := radio.NewMedium(k, g, sim.NewRand(7))
+	clock := superframe.NewClock(superframe.DefaultConfig())
+	r := &rig{k: k, m: m, clock: clock}
+	for i := 0; i < n; i++ {
+		e := New(Config{
+			MAC:     mac.Config{ID: frame.NodeID(i), Kernel: k, Medium: m, Clock: clock, MaxRetries: -1},
+			Variant: variant,
+			Rng:     sim.NewRandStream(7, uint64(i)),
+		})
+		r.engines = append(r.engines, e)
+		m.Attach(frame.NodeID(i), e)
+		e.Start()
+	}
+	return r
+}
+
+func dataTo(dst, src frame.NodeID, seq uint32) *frame.Frame {
+	return &frame.Frame{Kind: frame.Data, Src: src, Dst: dst, Origin: src, Sink: dst, Seq: seq, MPDUBytes: 40}
+}
+
+func TestDeliversOnIdleChannel(t *testing.T) {
+	for _, v := range []Variant{Unslotted, Slotted} {
+		t.Run(v.String(), func(t *testing.T) {
+			r := newRig(t, [][2]int{{0, 1}}, 2, v)
+			for i := 0; i < 20; i++ {
+				f := dataTo(1, 0, uint32(i+1))
+				r.k.Schedule(sim.Time(i)*100*sim.Millisecond, func() { r.engines[0].Enqueue(f) })
+			}
+			r.k.Run(5 * sim.Second)
+			s := r.engines[0].Base().Stats()
+			if s.TxSuccess != 20 || s.TxFail != 0 {
+				t.Fatalf("stats: %+v", s)
+			}
+			if r.engines[1].Base().Stats().Delivered != 20 {
+				t.Fatalf("receiver delivered %d", r.engines[1].Base().Stats().Delivered)
+			}
+			es := r.engines[0].EngineStats()
+			if es.Backoffs == 0 || es.CCAAttempts == 0 {
+				t.Errorf("no backoff/CCA recorded: %+v", es)
+			}
+		})
+	}
+}
+
+func TestSlottedUsesTwoCCAs(t *testing.T) {
+	r := newRig(t, [][2]int{{0, 1}}, 2, Slotted)
+	r.engines[0].Enqueue(dataTo(1, 0, 1))
+	r.k.Run(2 * sim.Second)
+	es := r.engines[0].EngineStats()
+	if es.CCAAttempts != 2 {
+		t.Errorf("CCAAttempts = %d, want 2 (CW=2)", es.CCAAttempts)
+	}
+}
+
+// TestCCADefersToOngoingTransmission checks carrier sensing: node 2
+// transmits a long frame while node 0 wants to send — 0 must see a busy
+// channel and back off rather than collide.
+func TestCCADefersToOngoingTransmission(t *testing.T) {
+	r := newRig(t, [][2]int{{0, 1}, {1, 2}, {0, 2}}, 3, Unslotted)
+	// A long broadcast from node 2 occupies the channel.
+	long := &frame.Frame{Kind: frame.Data, Src: 2, Dst: frame.Broadcast, Origin: 2, Sink: frame.Broadcast, Seq: 1, MPDUBytes: 120}
+	capStart := r.clock.NextSubslotStart(0)
+	r.k.At(capStart, func() { r.m.StartTX(2, long) })
+	r.k.At(capStart+10, func() { r.engines[0].Enqueue(dataTo(1, 0, 1)) })
+	r.k.Run(1 * sim.Second)
+	s := r.engines[0].Base().Stats()
+	es := r.engines[0].EngineStats()
+	if s.TxSuccess != 1 {
+		t.Fatalf("frame not delivered eventually: %+v", s)
+	}
+	if es.CCABusy == 0 {
+		t.Errorf("no busy CCA despite the occupied channel (backoffs=%d)", es.Backoffs)
+	}
+}
+
+// TestHiddenNodesCollide checks the §6.1 premise: carrier sensing cannot
+// protect against a hidden transmitter, so simultaneous saturated senders
+// lose frames despite CSMA/CA.
+func TestHiddenNodesCollide(t *testing.T) {
+	r := newRig(t, [][2]int{{0, 1}, {1, 2}}, 3, Unslotted)
+	seq := uint32(0)
+	for i := 0; i < 100; i++ {
+		seq++
+		r.engines[0].Enqueue(dataTo(1, 0, seq))
+		r.engines[2].Enqueue(dataTo(1, 2, seq))
+		r.k.Run(r.k.Now() + 40*sim.Millisecond)
+	}
+	r.k.Run(r.k.Now() + 2*sim.Second)
+	fails := r.engines[0].Base().Stats().TxFail + r.engines[2].Base().Stats().TxFail
+	if fails == 0 {
+		t.Error("no failed transmissions in a saturated hidden-node setup")
+	}
+}
+
+func TestTransactionsRespectCAPBoundary(t *testing.T) {
+	r := newRig(t, [][2]int{{0, 1}}, 2, Slotted)
+	// Enqueue right before the CAP ends: the transaction must defer.
+	capEnd := r.clock.CAPEnd(r.clock.NextSubslotStart(0))
+	r.k.At(capEnd-500, func() { r.engines[0].Enqueue(dataTo(1, 0, 1)) })
+	r.k.Run(capEnd + 100)
+	if got := r.engines[0].Base().Stats().TxAttempts; got != 0 {
+		t.Fatalf("transmitted %d frames across the CAP boundary", got)
+	}
+	// It completes in the next CAP.
+	r.k.Run(r.clock.Config().SuperframeDuration() * 2)
+	if got := r.engines[0].Base().Stats().TxSuccess; got != 1 {
+		t.Fatalf("deferred frame not delivered: success=%d", got)
+	}
+}
+
+func TestRetryAfterAckLoss(t *testing.T) {
+	// Destination 5 does not exist: every attempt fails, the frame retries
+	// NR times and is finally dropped.
+	r := newRig(t, [][2]int{{0, 1}}, 2, Unslotted)
+	r.engines[0].Enqueue(dataTo(5, 0, 1))
+	r.k.Run(5 * sim.Second)
+	s := r.engines[0].Base().Stats()
+	if s.TxAttempts != 4 { // 1 + NR retries
+		t.Errorf("TxAttempts = %d, want 4", s.TxAttempts)
+	}
+	if s.RetryDrops != 1 {
+		t.Errorf("RetryDrops = %d, want 1", s.RetryDrops)
+	}
+}
+
+func TestVariantString(t *testing.T) {
+	if Unslotted.String() != "unslotted" || Slotted.String() != "slotted" {
+		t.Error("variant names wrong")
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic without Rng")
+		}
+	}()
+	New(Config{})
+}

@@ -1,0 +1,190 @@
+package dsme
+
+import (
+	"testing"
+	"testing/quick"
+
+	"qma/internal/scenario"
+	"qma/internal/sim"
+	"qma/internal/superframe"
+	"qma/internal/topo"
+	"qma/internal/traffic"
+)
+
+func TestSlotMapStates(t *testing.T) {
+	cfg := superframe.DefaultConfig()
+	m := NewSlotMap(cfg)
+	g := superframe.GTS{Superframe: 1, Slot: 3, Channel: 7}
+
+	if m.State(g) != SlotFree {
+		t.Fatalf("initial state = %v, want free", m.State(g))
+	}
+	m.Set(g, SlotTX, 4)
+	if m.State(g) != SlotTX || m.Peer(g) != 4 {
+		t.Fatalf("after Set: state=%v peer=%d", m.State(g), m.Peer(g))
+	}
+	// MarkNeighbor must not overwrite ownership.
+	m.MarkNeighbor(g, 5*sim.Second)
+	if m.State(g) != SlotTX {
+		t.Fatalf("MarkNeighbor overwrote owned slot: %v", m.State(g))
+	}
+	if m.Count(SlotTX) != 1 || len(m.Owned(SlotTX)) != 1 || m.Owned(SlotTX)[0] != g {
+		t.Fatalf("Count/Owned inconsistent")
+	}
+	m.Clear(g)
+	if m.State(g) != SlotFree || m.Peer(g) != -1 {
+		t.Fatalf("Clear failed: %v %d", m.State(g), m.Peer(g))
+	}
+}
+
+func TestSlotMapPickFree(t *testing.T) {
+	cfg := superframe.DefaultConfig()
+	m := NewSlotMap(cfg)
+	total := cfg.GTSPerMultiframe()
+
+	// Fill every slot except one; any pick index must return it.
+	keep := superframe.GTS{Superframe: 0, Slot: 4, Channel: 9}
+	for i := 0; i < total; i++ {
+		g := superframe.GTSFromIndex(cfg, i)
+		if g != keep {
+			m.Set(g, SlotNeighbor, -1)
+		}
+	}
+	for _, n := range []int{0, 1, 7, -3, 1 << 19} {
+		g, ok := m.PickFree(n)
+		if !ok || g != keep {
+			t.Fatalf("PickFree(%d) = %v/%v, want %v", n, g, ok, keep)
+		}
+	}
+	m.Set(keep, SlotTX, 1)
+	if _, ok := m.PickFree(0); ok {
+		t.Fatal("PickFree on a full map reported a free slot")
+	}
+}
+
+func TestSlotMapPickFreeProperty(t *testing.T) {
+	cfg := superframe.DefaultConfig()
+	prop := func(occupied []uint16, pick int16) bool {
+		m := NewSlotMap(cfg)
+		for _, o := range occupied {
+			m.Set(superframe.GTSFromIndex(cfg, int(o)%cfg.GTSPerMultiframe()), SlotNeighbor, -1)
+		}
+		g, ok := m.PickFree(int(pick))
+		if !ok {
+			return m.Count(SlotFree) == 0
+		}
+		return m.State(g) == SlotFree
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// twoNodeConfig wires one child streaming to the sink.
+func twoNodeConfig(mk scenario.MACKind, seed uint64) ScenarioConfig {
+	net := topo.HiddenNode() // A and C stream to B over GTS
+	return ScenarioConfig{
+		Network:  net,
+		MAC:      mk,
+		Seed:     seed,
+		Duration: 180 * sim.Second,
+		Warmup:   60 * sim.Second,
+		Phases:   []traffic.Phase{{Rate: 5}},
+	}
+}
+
+func TestGTSAllocationAndDataDelivery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	res := RunScenario(twoNodeConfig(scenario.QMA, 1))
+	// Both leaves must end up owning TX slots.
+	if res.SlotsOwned[0] == 0 || res.SlotsOwned[2] == 0 {
+		t.Fatalf("slots owned = %v, want both leaves > 0", res.SlotsOwned)
+	}
+	// Primary data flows through the allocated GTS.
+	m := res.Metrics
+	if m.PrimaryGenerated == 0 {
+		t.Fatal("no primary packets generated")
+	}
+	if pdr := m.PrimaryPDR(); pdr < 0.9 {
+		t.Errorf("primary PDR = %.3f, want >= 0.9 (δ=5 is far below GTS capacity)", pdr)
+	}
+	// Handshakes completed.
+	var completed uint64
+	for _, ns := range res.Nodes {
+		completed += ns.AllocCompleted
+	}
+	if completed == 0 {
+		t.Error("no allocation handshake completed")
+	}
+	t.Logf("slots=%v primaryPDR=%.3f secondaryPDR=%.3f allocs/s=%.2f",
+		res.SlotsOwned, m.PrimaryPDR(), m.SecondaryPDR(), res.AllocationsPerSecond)
+}
+
+func TestGTSDeallocationOnTrafficDrop(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	cfg := twoNodeConfig(scenario.QMA, 2)
+	// Traffic bursts then goes silent; nodes must give slots back.
+	cfg.Phases = []traffic.Phase{{Rate: 20, Duration: 30 * sim.Second}, {Rate: 0, Duration: 90 * sim.Second}}
+	cfg.Duration = 180 * sim.Second
+	res := RunScenario(cfg)
+	var dealloc uint64
+	for _, ns := range res.Nodes {
+		dealloc += ns.DeallocCompleted
+	}
+	if dealloc == 0 {
+		t.Errorf("no deallocation completed despite traffic dropping to zero (slots=%v)", res.SlotsOwned)
+	}
+}
+
+func TestRings7SecondaryTraffic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	run := func(mk scenario.MACKind) *ScenarioResult {
+		return RunScenario(ScenarioConfig{
+			Network:  topo.Rings(1),
+			MAC:      mk,
+			Seed:     3,
+			Duration: 240 * sim.Second,
+			Warmup:   90 * sim.Second,
+		})
+	}
+	qma := run(scenario.QMA)
+	csma := run(scenario.CSMAUnslotted)
+
+	t.Logf("QMA : secondary=%.3f req=%.3f allocs/s=%.2f primary=%.3f",
+		qma.Metrics.SecondaryPDR(), qma.Metrics.RequestSuccessRatio(),
+		qma.AllocationsPerSecond, qma.Metrics.PrimaryPDR())
+	t.Logf("CSMA: secondary=%.3f req=%.3f allocs/s=%.2f primary=%.3f",
+		csma.Metrics.SecondaryPDR(), csma.Metrics.RequestSuccessRatio(),
+		csma.AllocationsPerSecond, csma.Metrics.PrimaryPDR())
+
+	if qma.Metrics.RequestsSent == 0 || csma.Metrics.RequestsSent == 0 {
+		t.Fatal("no GTS requests were sent")
+	}
+	// Fig. 21: QMA's secondary PDR exceeds CSMA/CA's.
+	if qma.Metrics.SecondaryPDR() < csma.Metrics.SecondaryPDR()-0.02 {
+		t.Errorf("QMA secondary PDR %.3f below CSMA %.3f",
+			qma.Metrics.SecondaryPDR(), csma.Metrics.SecondaryPDR())
+	}
+}
+
+func TestScenarioDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	a := RunScenario(twoNodeConfig(scenario.QMA, 9))
+	b := RunScenario(twoNodeConfig(scenario.QMA, 9))
+	if a.Metrics != b.Metrics {
+		t.Errorf("metrics differ between identical runs:\n%+v\n%+v", a.Metrics, b.Metrics)
+	}
+	for i := range a.Nodes {
+		if a.Nodes[i] != b.Nodes[i] {
+			t.Errorf("node %d stats differ:\n%+v\n%+v", i, a.Nodes[i], b.Nodes[i])
+		}
+	}
+}

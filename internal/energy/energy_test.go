@@ -1,0 +1,65 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"qma/internal/radio"
+	"qma/internal/sim"
+)
+
+func TestAccountBreakdown(t *testing.T) {
+	p := AT86RF231()
+	total := 100 * sim.Second
+	capOn := 50 * sim.Second
+	stats := radio.NodeStats{TxAirtime: 2 * sim.Second}
+	r := Account(p, total, capOn, stats)
+
+	if r.TxTime != 2*sim.Second || r.ListenTime != 48*sim.Second || r.OffTime != 50*sim.Second {
+		t.Fatalf("time breakdown: tx=%v listen=%v off=%v", r.TxTime, r.ListenTime, r.OffTime)
+	}
+	wantTx := 2.0 * 14.0 * 3.0
+	wantListen := 48.0 * 12.3 * 3.0
+	wantOff := 50.0 * 0.4 * 3.0
+	if math.Abs(r.TxMilliJoule-wantTx) > 1e-9 {
+		t.Errorf("TxMilliJoule = %v, want %v", r.TxMilliJoule, wantTx)
+	}
+	if math.Abs(r.ListenMilliJoule-wantListen) > 1e-9 {
+		t.Errorf("ListenMilliJoule = %v, want %v", r.ListenMilliJoule, wantListen)
+	}
+	if math.Abs(r.OffMilliJoule-wantOff) > 1e-9 {
+		t.Errorf("OffMilliJoule = %v, want %v", r.OffMilliJoule, wantOff)
+	}
+	if math.Abs(r.TotalMilliJoule()-(wantTx+wantListen+wantOff)) > 1e-9 {
+		t.Errorf("TotalMilliJoule = %v", r.TotalMilliJoule())
+	}
+}
+
+func TestAccountClampsNegatives(t *testing.T) {
+	p := AT86RF231()
+	// TX airtime exceeding CAP residency (pathological inputs) must not
+	// produce negative listen time.
+	r := Account(p, 10*sim.Second, 1*sim.Second, radio.NodeStats{TxAirtime: 2 * sim.Second})
+	if r.ListenTime != 0 {
+		t.Errorf("ListenTime = %v, want 0", r.ListenTime)
+	}
+	r = Account(p, 1*sim.Second, 2*sim.Second, radio.NodeStats{})
+	if r.OffTime != 0 {
+		t.Errorf("OffTime = %v, want 0", r.OffTime)
+	}
+}
+
+// TestEnergyParityArgument reproduces the §6.2.1 reasoning: with equal
+// transmission attempts, the listening floor dominates and two schemes
+// differ by well under a percent.
+func TestEnergyParityArgument(t *testing.T) {
+	p := AT86RF231()
+	total := 400 * sim.Second
+	capOn := 200 * sim.Second
+	qma := Account(p, total, capOn, radio.NodeStats{TxAirtime: 3 * sim.Second})
+	csma := Account(p, total, capOn, radio.NodeStats{TxAirtime: 3300 * sim.Millisecond})
+	rel := math.Abs(qma.TotalMilliJoule()-csma.TotalMilliJoule()) / qma.TotalMilliJoule()
+	if rel > 0.01 {
+		t.Errorf("energy difference %.3f%%, want < 1%% (listening floor dominates)", rel*100)
+	}
+}

@@ -1,0 +1,159 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§6 and Appendix A). Each runner returns one or more Tables —
+// plain rows ready for text rendering — so the same code backs the
+// qma-experiments binary, the benchmark harness and EXPERIMENTS.md.
+//
+// Runners accept a Mode so that `go test -bench` finishes in minutes (Quick)
+// while `qma-experiments -full` reproduces paper-scale parameters (Full):
+// the paper uses 1000 packets per source and 10–15 repetitions per point.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"qma/internal/sim"
+)
+
+// Mode scales an experiment between bench-friendly and paper-scale runs.
+type Mode struct {
+	// Name tags the mode in output.
+	Name string
+	// Reps is the number of independent replications per point.
+	Reps int
+	// Packets is the number of evaluation packets per source.
+	Packets int
+	// Parallel bounds concurrent replications (0 = all at once).
+	Parallel int
+	// Warmup is the management/formation time before evaluation traffic.
+	Warmup sim.Time
+	// DSMEDuration and DSMEWarmup size the §6.3 data-collection runs.
+	DSMEDuration, DSMEWarmup sim.Time
+}
+
+// Quick returns the reduced mode used by `go test -bench`.
+func Quick() Mode {
+	return Mode{
+		Name:         "quick",
+		Reps:         3,
+		Packets:      300,
+		Warmup:       40 * sim.Second,
+		DSMEDuration: 400 * sim.Second,
+		DSMEWarmup:   150 * sim.Second,
+	}
+}
+
+// Full returns the paper-scale mode (15 repetitions, 1000 packets, 100 s
+// association phase, 200 s DSME warm-up).
+func Full() Mode {
+	return Mode{
+		Name:         "full",
+		Reps:         15,
+		Packets:      1000,
+		Warmup:       100 * sim.Second,
+		DSMEDuration: 1000 * sim.Second,
+		DSMEWarmup:   200 * sim.Second,
+	}
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	// ID names the paper artefact ("Fig. 7"), Title describes it.
+	ID, Title string
+	// Columns and Rows hold the payload.
+	Columns []string
+	Rows    [][]string
+	// Notes carry caveats and observations for EXPERIMENTS.md.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if i < len(widths) {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			} else {
+				parts[i] = c
+			}
+		}
+		fmt.Fprintln(w, "  "+strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+	fmt.Fprintln(w)
+}
+
+// Runner regenerates one paper artefact (possibly several related tables).
+type Runner func(Mode) []*Table
+
+// registry maps experiment ids to runners, populated by the per-figure
+// files' init functions.
+var registry = map[string]Runner{}
+
+func register(id string, r Runner) { registry[id] = r }
+
+// IDs lists the registered experiment ids in stable order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Run executes the runner registered under id; ok is false for unknown ids.
+func Run(id string, mode Mode) (tables []*Table, ok bool) {
+	r, ok := registry[id]
+	if !ok {
+		return nil, false
+	}
+	return r(mode), true
+}
+
+// RunAll executes every registered experiment in id order.
+func RunAll(mode Mode, w io.Writer) {
+	for _, id := range IDs() {
+		tables, _ := Run(id, mode)
+		for _, t := range tables {
+			t.Render(w)
+		}
+	}
+}
+
+// f2, f3 and pct format cells.
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string  { return fmt.Sprintf("%.3f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// ci renders "mean ±hw".
+func ci(mean, hw float64) string { return fmt.Sprintf("%.3f ±%.3f", mean, hw) }

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qma/internal/markov"
+	"qma/internal/sim"
+)
+
+func init() {
+	register("fig26", RunHandshakeAnalysis)
+}
+
+// RunHandshakeAnalysis regenerates Fig. 26 (Appendix A.1): the expected
+// number of transmitted messages until the 3-way GTS handshake completes,
+// as a function of the per-message success probability p. Three independent
+// methods are reported: the fundamental-matrix solution of the paper's
+// Eq. 10 chain, a closed-form derivation and a Monte-Carlo simulation.
+func RunHandshakeAnalysis(mode Mode) []*Table {
+	t := &Table{
+		ID:    "Fig. 26",
+		Title: "expected messages per successful 3-way GTS handshake vs p",
+		Columns: []string{"p", "matrix (Eq. 10-12)", "closed form", "Monte Carlo",
+			"paper Fig. 26"},
+	}
+	samples := 50000
+	if mode.Reps >= 10 {
+		samples = 500000
+	}
+	rng := sim.NewRand(2026)
+	paper := markov.PaperFig26()
+	for p := 1.0; p >= 0.0999; p -= 0.1 {
+		mx := markov.ExpectedHandshakeMessages(p)
+		cf := markov.ExpectedHandshakeMessagesClosedForm(p)
+		mc := markov.SimulateHandshakes(p, samples, rng)
+		t.AddRow(fmt.Sprintf("%.1f", p), f2(mx), f2(cf), f2(mc), f2(paper[round1(p)]))
+	}
+	t.Notes = append(t.Notes,
+		"all three of our methods agree; they reproduce the paper's printed curve for p ≥ 0.8 but diverge below (the printed Fig. 26 is inconsistent with the paper's own Eq. 10 matrix — see DESIGN.md)",
+		"the qualitative claim holds in every method: the message count grows sharply as p drops, which is why the CAP needs a reliable channel access scheme")
+	return []*Table{t}
+}
+
+func round1(p float64) float64 {
+	return float64(int(p*10+0.5)) / 10
+}

@@ -1,0 +1,94 @@
+package frame
+
+// DefaultQueueCap is the paper's transmit queue size of 8 packets (§4.2,
+// Fig. 4: "ρ = 0.3 is used for the maximum queue level of 8 packets").
+const DefaultQueueCap = 8
+
+// Queue is a bounded FIFO transmit queue with drop accounting. The zero
+// value is not usable; construct with NewQueue. Queue is not safe for
+// concurrent use (the simulation is sequential).
+type Queue struct {
+	items []*Frame
+	cap   int
+	// Dropped counts frames rejected because the queue was full.
+	dropped uint64
+	// enqueued counts accepted frames.
+	enqueued uint64
+}
+
+// NewQueue returns an empty queue holding at most capacity frames.
+// capacity <= 0 selects DefaultQueueCap.
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultQueueCap
+	}
+	return &Queue{items: make([]*Frame, 0, capacity), cap: capacity}
+}
+
+// Cap reports the maximum number of frames the queue holds.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len reports the current occupancy.
+func (q *Queue) Len() int { return len(q.items) }
+
+// Empty reports whether no frame is queued.
+func (q *Queue) Empty() bool { return len(q.items) == 0 }
+
+// Full reports whether the queue is at capacity.
+func (q *Queue) Full() bool { return len(q.items) >= q.cap }
+
+// Dropped reports how many frames were rejected by Push because the queue
+// was full.
+func (q *Queue) Dropped() uint64 { return q.dropped }
+
+// Enqueued reports how many frames were accepted in total.
+func (q *Queue) Enqueued() uint64 { return q.enqueued }
+
+// Push appends f if space remains and reports whether it was accepted.
+func (q *Queue) Push(f *Frame) bool {
+	if q.Full() {
+		q.dropped++
+		return false
+	}
+	q.items = append(q.items, f)
+	q.enqueued++
+	return true
+}
+
+// PushFront re-inserts f at the head (used when a transaction must be
+// deferred without counting as a drop). Unlike Push it succeeds even at
+// capacity, because the frame was already accounted for.
+func (q *Queue) PushFront(f *Frame) {
+	q.items = append(q.items, nil)
+	copy(q.items[1:], q.items)
+	q.items[0] = f
+}
+
+// Head returns the frame at the front without removing it, or nil when
+// empty.
+func (q *Queue) Head() *Frame {
+	if len(q.items) == 0 {
+		return nil
+	}
+	return q.items[0]
+}
+
+// Pop removes and returns the head frame, or nil when empty.
+func (q *Queue) Pop() *Frame {
+	if len(q.items) == 0 {
+		return nil
+	}
+	f := q.items[0]
+	copy(q.items, q.items[1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return f
+}
+
+// Clear removes all queued frames (used between experiment phases).
+func (q *Queue) Clear() {
+	for i := range q.items {
+		q.items[i] = nil
+	}
+	q.items = q.items[:0]
+}

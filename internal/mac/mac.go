@@ -1,0 +1,489 @@
+// Package mac provides the channel-access-independent half of a MAC layer:
+// transmit queue management, immediate acknowledgements, retransmission and
+// drop bookkeeping, duplicate rejection, multi-hop forwarding and the
+// queue-level statistics the paper's figures report. The QMA engine
+// (internal/core) and the CSMA/CA baselines (internal/csma) embed Base and
+// contribute only their channel access discipline, which keeps the
+// comparison between the schemes honest: everything except access timing is
+// shared code.
+package mac
+
+import (
+	"fmt"
+
+	"qma/internal/frame"
+	"qma/internal/radio"
+	"qma/internal/sim"
+	"qma/internal/superframe"
+)
+
+// DefaultMaxRetries is macMaxFrameRetries (NR = 3): a unicast frame is
+// dropped after three failed retransmissions (§4, "a packet is dropped after
+// NR retransmission as in CSMA/CA").
+const DefaultMaxRetries = 3
+
+// Router decides the next hop towards a sink. Implementations are static
+// routing trees built by internal/topo.
+type Router interface {
+	// NextHop returns the neighbour `from` should forward to in order to
+	// reach sink, and whether a route exists.
+	NextHop(from, sink frame.NodeID) (frame.NodeID, bool)
+}
+
+// Engine is the interface scenario builders wire to traffic generators and
+// the radio. Both the QMA engine and the CSMA/CA engines implement it.
+type Engine interface {
+	radio.Handler
+	// Start arms the engine's channel access on its kernel. It must be
+	// called exactly once, before any traffic arrives.
+	Start()
+	// Enqueue offers a frame for transmission and reports whether the
+	// transmit queue accepted it.
+	Enqueue(f *frame.Frame) bool
+	// Base exposes the shared state for statistics collection.
+	Base() *Base
+}
+
+// Stats aggregates the per-node MAC counters the evaluation reports.
+type Stats struct {
+	// Enqueued counts frames accepted into the transmit queue.
+	Enqueued uint64
+	// QueueDrops counts frames rejected because the queue was full.
+	QueueDrops uint64
+	// TxAttempts counts data transmissions put on the air (excluding ACKs).
+	TxAttempts uint64
+	// TxSuccess counts acknowledged unicasts plus sent broadcasts.
+	TxSuccess uint64
+	// TxFail counts unicast attempts with no acknowledgement.
+	TxFail uint64
+	// RetryDrops counts frames dropped after MaxRetries failed attempts.
+	RetryDrops uint64
+	// CSMAFails counts frames dropped because the CSMA backoff algorithm
+	// exceeded macMaxCSMABackoffs (QMA never increments this: it backs off
+	// indefinitely, §4).
+	CSMAFails uint64
+	// AcksSent counts immediate acknowledgements transmitted.
+	AcksSent uint64
+	// Delivered counts data frames accepted at this node as final sink.
+	Delivered uint64
+	// Forwarded counts data frames re-queued towards their sink.
+	Forwarded uint64
+	// Duplicates counts received frames rejected as duplicates.
+	Duplicates uint64
+}
+
+// Config assembles a Base. All reference fields are required.
+type Config struct {
+	// ID is the node's address.
+	ID frame.NodeID
+	// Kernel is the simulation kernel shared by the scenario.
+	Kernel *sim.Kernel
+	// Medium is the shared radio channel.
+	Medium *radio.Medium
+	// Clock is the shared superframe clock.
+	Clock *superframe.Clock
+	// QueueCap bounds the transmit queue (<=0 selects the paper's 8).
+	QueueCap int
+	// MaxRetries is NR (<0 selects DefaultMaxRetries; 0 means no retries).
+	MaxRetries int
+	// Router enables multi-hop forwarding (nil for single-hop scenarios).
+	Router Router
+	// NeighborStaleAfter bounds how long an overheard queue level stays in
+	// the §4.2 neighbour table (0 selects 16 superframes ≈ 2 s). Without
+	// expiry a saturated network deadlocks: every node remembers its
+	// neighbours' queues as full, the queue difference stays at zero and
+	// parameter-based exploration shuts down for everyone at once.
+	NeighborStaleAfter sim.Time
+	// OnSinkDeliver is invoked for every data frame that reaches its final
+	// sink at this node (after duplicate rejection). May be nil.
+	OnSinkDeliver func(f *frame.Frame)
+	// OnCommand is invoked for every GTS command frame addressed to this
+	// node (after duplicate rejection). The dsme package installs it. May be
+	// nil.
+	OnCommand func(f *frame.Frame)
+	// OnOverhear is invoked for every decoded frame regardless of
+	// destination, before any other processing. The QMA engine installs it
+	// to drive the QBackoff reward (Eq. 6). May be nil.
+	OnOverhear func(f *frame.Frame)
+	// OnAccept is invoked whenever the transmit queue accepts a frame —
+	// including frames the forwarding path enqueues internally. Engines
+	// install their channel-access trigger here; without it a node whose
+	// queue fills through forwarding alone would never start transmitting.
+	// May be nil.
+	OnAccept func()
+}
+
+type neighborLevel struct {
+	level uint8
+	at    sim.Time
+}
+
+type pendingAck struct {
+	from  frame.NodeID
+	seq   uint32
+	timer *sim.Event
+	cb    func(success bool)
+}
+
+// Base is the shared MAC state machine. It is bound to one kernel and not
+// safe for concurrent use.
+type Base struct {
+	cfg Config
+
+	queue *frame.Queue
+	stats Stats
+
+	// busyUntil marks the end of the node's current MAC activity
+	// (transmission, CCA, ACK wait or pending immediate ACK). Engines must
+	// not start new activity before it passes.
+	busyUntil sim.Time
+
+	waiting *pendingAck
+
+	// neighborQueue holds the most recently overheard queue level per
+	// neighbour (piggybacked in every frame, §4.2) with its reception time.
+	neighborQueue map[frame.NodeID]neighborLevel
+
+	// lastSeq tracks the highest delivered sequence number per origin for
+	// duplicate rejection.
+	lastSeq map[frame.NodeID]uint32
+	hasSeq  map[frame.NodeID]bool
+
+	// Queue-level time integral for the Fig. 8 metric.
+	qlIntegralStart sim.Time
+	qlLastChange    sim.Time
+	qlIntegral      float64
+}
+
+// NewBase validates cfg and returns a Base.
+func NewBase(cfg Config) *Base {
+	if cfg.Kernel == nil || cfg.Medium == nil || cfg.Clock == nil {
+		panic("mac: Kernel, Medium and Clock are required")
+	}
+	if cfg.MaxRetries < 0 {
+		cfg.MaxRetries = DefaultMaxRetries
+	}
+	if cfg.NeighborStaleAfter <= 0 {
+		cfg.NeighborStaleAfter = 16 * cfg.Clock.Config().SuperframeDuration()
+	}
+	return &Base{
+		cfg:           cfg,
+		queue:         frame.NewQueue(cfg.QueueCap),
+		neighborQueue: make(map[frame.NodeID]neighborLevel),
+		lastSeq:       make(map[frame.NodeID]uint32),
+		hasSeq:        make(map[frame.NodeID]bool),
+	}
+}
+
+// ID reports the node address.
+func (b *Base) ID() frame.NodeID { return b.cfg.ID }
+
+// Kernel returns the simulation kernel.
+func (b *Base) Kernel() *sim.Kernel { return b.cfg.Kernel }
+
+// Medium returns the radio channel.
+func (b *Base) Medium() *radio.Medium { return b.cfg.Medium }
+
+// Clock returns the superframe clock.
+func (b *Base) Clock() *superframe.Clock { return b.cfg.Clock }
+
+// Queue returns the transmit queue.
+func (b *Base) Queue() *frame.Queue { return b.queue }
+
+// Stats returns a copy of the counters.
+func (b *Base) Stats() Stats { return b.stats }
+
+// MaxRetries reports the configured NR.
+func (b *Base) MaxRetries() int { return b.cfg.MaxRetries }
+
+// Busy reports whether MAC activity is in progress at the current instant.
+func (b *Base) Busy() bool { return b.busyUntil > b.cfg.Kernel.Now() }
+
+// BusyUntil reports the end of the current MAC activity.
+func (b *Base) BusyUntil() sim.Time { return b.busyUntil }
+
+// ExtendBusy marks the node busy until at least t.
+func (b *Base) ExtendBusy(t sim.Time) {
+	if t > b.busyUntil {
+		b.busyUntil = t
+	}
+}
+
+// Enqueue implements Engine: it offers f to the transmit queue, tracking the
+// queue-level integral and drop counters, and notifies the engine's
+// channel-access trigger on acceptance.
+func (b *Base) Enqueue(f *frame.Frame) bool {
+	b.noteQueueChange()
+	if !b.queue.Push(f) {
+		b.stats.QueueDrops++
+		return false
+	}
+	b.stats.Enqueued++
+	if b.cfg.OnAccept != nil {
+		b.cfg.OnAccept()
+	}
+	return true
+}
+
+func (b *Base) noteQueueChange() {
+	now := b.cfg.Kernel.Now()
+	b.qlIntegral += float64(b.queue.Len()) * float64(now-b.qlLastChange)
+	b.qlLastChange = now
+}
+
+// AvgQueueLevel reports the time-averaged queue occupancy since the last
+// ResetQueueIntegral (Fig. 8 metric).
+func (b *Base) AvgQueueLevel() float64 {
+	now := b.cfg.Kernel.Now()
+	total := float64(now - b.qlIntegralStart)
+	if total <= 0 {
+		return 0
+	}
+	integral := b.qlIntegral + float64(b.queue.Len())*float64(now-b.qlLastChange)
+	return integral / total
+}
+
+// ResetQueueIntegral restarts queue-level averaging at the current instant
+// (scenarios call it when the warm-up phase ends).
+func (b *Base) ResetQueueIntegral() {
+	now := b.cfg.Kernel.Now()
+	b.qlIntegral = 0
+	b.qlIntegralStart = now
+	b.qlLastChange = now
+}
+
+// AvgNeighborQueue reports the mean of the recently overheard queue levels
+// of all neighbours, 0 when nothing fresh was overheard (§4.2). Entries
+// older than NeighborStaleAfter are evicted: silence from a neighbour means
+// its advertised queue level is no longer trustworthy, and keeping it would
+// freeze parameter-based exploration in a saturated network.
+func (b *Base) AvgNeighborQueue() float64 {
+	cutoff := b.cfg.Kernel.Now() - b.cfg.NeighborStaleAfter
+	var sum float64
+	n := 0
+	for id, l := range b.neighborQueue {
+		if l.at < cutoff {
+			delete(b.neighborQueue, id)
+			continue
+		}
+		sum += float64(l.level)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+// SendFrame transmits f now and reports the outcome through cb exactly once:
+// immediately after the transmission for broadcasts (optimistic, no ACK
+// exists — DESIGN.md §6 deviation 1), or after the ACK / ACK timeout for
+// unicasts. It returns the instant the node becomes idle again. The caller
+// must ensure the node is not busy and the transaction fits in the CAP.
+func (b *Base) SendFrame(f *frame.Frame, cb func(success bool)) sim.Time {
+	if b.waiting != nil {
+		panic(fmt.Sprintf("mac: node %d sends while awaiting an ACK", b.cfg.ID))
+	}
+	ql := b.queue.Len()
+	if ql > 255 {
+		ql = 255
+	}
+	f.QueueLevel = uint8(ql)
+	b.stats.TxAttempts++
+	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, f)
+	if f.IsBroadcast() {
+		b.ExtendBusy(txEnd)
+		b.cfg.Kernel.At(txEnd, func() {
+			b.stats.TxSuccess++
+			cb(true)
+		})
+		return txEnd
+	}
+	deadline := txEnd + frame.AckWait
+	b.ExtendBusy(deadline)
+	w := &pendingAck{from: f.Dst, seq: f.Seq, cb: cb}
+	w.timer = b.cfg.Kernel.At(deadline, func() {
+		b.waiting = nil
+		b.stats.TxFail++
+		cb(false)
+	})
+	b.waiting = w
+	return deadline
+}
+
+// FinishFrame applies the retry policy after a unicast data outcome: on
+// success the frame is removed from the queue; on failure it is retried
+// until MaxRetries is exhausted, then dropped. It reports whether the frame
+// left the queue. The frame must be the queue head.
+func (b *Base) FinishFrame(f *frame.Frame, success bool) (done bool) {
+	if b.queue.Head() != f {
+		panic(fmt.Sprintf("mac: node %d finishes a frame that is not the queue head", b.cfg.ID))
+	}
+	if success {
+		b.noteQueueChange()
+		b.queue.Pop()
+		b.signalDone(f, true)
+		return true
+	}
+	f.Retries++
+	if int(f.Retries) > b.cfg.MaxRetries {
+		b.noteQueueChange()
+		b.queue.Pop()
+		b.stats.RetryDrops++
+		b.signalDone(f, false)
+		return true
+	}
+	return false
+}
+
+func (b *Base) signalDone(f *frame.Frame, success bool) {
+	if f.Done != nil {
+		cb := f.Done
+		f.Done = nil
+		cb(success)
+	}
+}
+
+// DropCSMAFailure removes the queue head after a channel-access failure
+// (macMaxCSMABackoffs exceeded). Only the CSMA engines call it.
+func (b *Base) DropCSMAFailure(f *frame.Frame) {
+	if b.queue.Head() != f {
+		panic(fmt.Sprintf("mac: node %d CSMA-drops a frame that is not the queue head", b.cfg.ID))
+	}
+	b.noteQueueChange()
+	b.queue.Pop()
+	b.stats.CSMAFails++
+	b.signalDone(f, false)
+}
+
+// Deliver implements radio.Handler: the shared receive path. Every decoded
+// frame feeds the overhear hook and the neighbour queue-level table; frames
+// addressed to this node are acknowledged, de-duplicated and handed to the
+// sink, forwarding or command paths.
+func (b *Base) Deliver(f *frame.Frame) {
+	if b.cfg.OnOverhear != nil {
+		b.cfg.OnOverhear(f)
+	}
+	if f.Kind != frame.Ack && f.Src != b.cfg.ID {
+		b.neighborQueue[f.Src] = neighborLevel{level: f.QueueLevel, at: b.cfg.Kernel.Now()}
+	}
+
+	switch {
+	case f.Kind == frame.Ack:
+		if f.Dst == b.cfg.ID {
+			b.handleAck(f)
+		}
+	case f.Dst == b.cfg.ID:
+		b.handleUnicast(f)
+	case f.IsBroadcast():
+		b.handleBroadcast(f)
+	}
+}
+
+func (b *Base) handleAck(f *frame.Frame) {
+	w := b.waiting
+	if w == nil || w.from != f.Src || w.seq != f.Seq {
+		return
+	}
+	b.waiting = nil
+	w.timer.Cancel()
+	b.stats.TxSuccess++
+	w.cb(true)
+}
+
+func (b *Base) handleUnicast(f *frame.Frame) {
+	// Immediate acknowledgement after aTurnaroundTime. The ACK occupies the
+	// medium like any frame, which is what makes the hidden-node CCA of the
+	// paper's Fig. 6 occasionally fail at A and C.
+	b.sendAck(f)
+
+	if b.isDuplicate(f) {
+		b.stats.Duplicates++
+		return
+	}
+	switch f.Kind {
+	case frame.Data:
+		b.acceptData(f)
+	case frame.GTSRequest:
+		if b.cfg.OnCommand != nil {
+			b.cfg.OnCommand(f)
+		}
+	}
+}
+
+func (b *Base) handleBroadcast(f *frame.Frame) {
+	switch f.Kind {
+	case frame.GTSResponse, frame.GTSNotify:
+		if b.cfg.OnCommand != nil {
+			b.cfg.OnCommand(f)
+		}
+	case frame.Data:
+		b.acceptData(f)
+	}
+}
+
+func (b *Base) acceptData(f *frame.Frame) {
+	if f.Sink == b.cfg.ID || f.IsBroadcast() {
+		b.stats.Delivered++
+		if b.cfg.OnSinkDeliver != nil {
+			b.cfg.OnSinkDeliver(f)
+		}
+		return
+	}
+	if b.cfg.Router == nil {
+		return
+	}
+	next, ok := b.cfg.Router.NextHop(b.cfg.ID, f.Sink)
+	if !ok {
+		return
+	}
+	fwd := &frame.Frame{
+		Kind:      frame.Data,
+		Src:       b.cfg.ID,
+		Dst:       next,
+		Origin:    f.Origin,
+		Sink:      f.Sink,
+		Seq:       f.Seq,
+		MPDUBytes: f.MPDUBytes,
+		Tag:       f.Tag,
+		CreatedAt: f.CreatedAt,
+	}
+	if b.Enqueue(fwd) {
+		b.stats.Forwarded++
+	}
+}
+
+func (b *Base) isDuplicate(f *frame.Frame) bool {
+	if b.hasSeq[f.Origin] && f.Seq <= b.lastSeq[f.Origin] {
+		return true
+	}
+	b.hasSeq[f.Origin] = true
+	b.lastSeq[f.Origin] = f.Seq
+	return false
+}
+
+func (b *Base) sendAck(f *frame.Frame) {
+	now := b.cfg.Kernel.Now()
+	ackStart := now + frame.TurnaroundTime
+	ack := &frame.Frame{
+		Kind:      frame.Ack,
+		Src:       b.cfg.ID,
+		Dst:       f.Src,
+		Origin:    b.cfg.ID,
+		Sink:      f.Src,
+		Seq:       f.Seq,
+		MPDUBytes: frame.AckMPDUBytes,
+		Channel:   f.Channel,
+	}
+	b.ExtendBusy(ackStart + frame.AckDuration)
+	b.cfg.Kernel.At(ackStart, func() {
+		// Skip the ACK if the node somehow started transmitting meanwhile
+		// (cannot normally happen: a node transmitting during the reception
+		// would have corrupted it).
+		if b.cfg.Medium.Transmitting(b.cfg.ID) {
+			return
+		}
+		b.stats.AcksSent++
+		b.cfg.Medium.StartTX(b.cfg.ID, ack)
+	})
+}

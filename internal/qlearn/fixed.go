@@ -1,0 +1,179 @@
+package qlearn
+
+import "fmt"
+
+// Fixed-point Q8.8 arithmetic for the paper's embedded target (§3.2): the
+// FIT IoT-LAB M3 nodes carry a Cortex-M3 without a floating-point unit, so
+// the paper realizes α=0.5 as a right shift by one and integer rewards. The
+// FixedTable reproduces that arithmetic bit-exactly in Go: values are int16
+// Q8.8 (range ±128, resolution 1/256), α is a power-of-two shift and γ a
+// rational with denominator 256.
+
+// FixedOne is the Q8.8 representation of 1.0.
+const FixedOne = 256
+
+// fixedMin and fixedMax are the int16 saturation bounds.
+const (
+	fixedMin = -1 << 15
+	fixedMax = 1<<15 - 1
+)
+
+// FixedParams holds integer-only hyperparameters for FixedTable.
+type FixedParams struct {
+	// AlphaShift encodes α = 2^-AlphaShift (1 → α = 0.5, the paper's value).
+	AlphaShift uint
+	// GammaNum encodes γ = GammaNum/256 (230 → γ ≈ 0.8984, the closest Q8.8
+	// value to the paper's 0.9).
+	GammaNum int32
+	// Xi is the penalty ξ in Q8.8 (512 → ξ = 2).
+	Xi int32
+	// InitQ is the initial value in Q8.8 (−2560 → −10).
+	InitQ int32
+}
+
+// DefaultFixedParams mirrors DefaultParams in fixed point.
+func DefaultFixedParams() FixedParams {
+	return FixedParams{AlphaShift: 1, GammaNum: 230, Xi: 2 * FixedOne, InitQ: -10 * FixedOne}
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (p FixedParams) Validate() error {
+	switch {
+	case p.AlphaShift > 8:
+		return fmt.Errorf("qlearn: AlphaShift=%d too large (max 8)", p.AlphaShift)
+	case p.GammaNum < 0 || p.GammaNum > FixedOne:
+		return fmt.Errorf("qlearn: GammaNum=%d out of [0,256]", p.GammaNum)
+	case p.Xi < 0:
+		return fmt.Errorf("qlearn: Xi=%d must be non-negative", p.Xi)
+	case p.InitQ < fixedMin || p.InitQ > fixedMax:
+		return fmt.Errorf("qlearn: InitQ=%d out of int16 range", p.InitQ)
+	}
+	return nil
+}
+
+// FixedTable is a Table backed by int16 Q8.8 values using only integer
+// shifts, additions and one 16×16→32 multiplication per update — exactly the
+// operation budget §3.2 claims for resource-restricted devices. It always
+// applies the QMA rule (Eq. 5).
+type FixedTable struct {
+	p       FixedParams
+	states  int
+	actions int
+	q       []int16
+}
+
+var _ Table = (*FixedTable)(nil)
+
+// NewFixedTable returns a states × actions Q8.8 table initialized to
+// p.InitQ. It panics on invalid parameters or non-positive dimensions.
+func NewFixedTable(states, actions int, p FixedParams) *FixedTable {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if states <= 0 || actions <= 0 {
+		panic(fmt.Sprintf("qlearn: table dimensions %dx%d", states, actions))
+	}
+	t := &FixedTable{p: p, states: states, actions: actions, q: make([]int16, states*actions)}
+	t.Reset()
+	return t
+}
+
+// Params returns the table's hyperparameters.
+func (t *FixedTable) Params() FixedParams { return t.p }
+
+// States implements Table.
+func (t *FixedTable) States() int { return t.states }
+
+// Actions implements Table.
+func (t *FixedTable) Actions() int { return t.actions }
+
+func (t *FixedTable) idx(s, a int) int { return s*t.actions + a }
+
+// Raw reports the untranslated Q8.8 value for (s, a).
+func (t *FixedTable) Raw(s, a int) int16 { return t.q[t.idx(s, a)] }
+
+// Q implements Table.
+func (t *FixedTable) Q(s, a int) float64 {
+	return float64(t.q[t.idx(s, a)]) / FixedOne
+}
+
+// SetQ implements Table; v is rounded to the nearest Q8.8 value and
+// saturated.
+func (t *FixedTable) SetQ(s, a int, v float64) {
+	t.q[t.idx(s, a)] = saturate16(int32(roundHalfAway(v * FixedOne)))
+}
+
+func roundHalfAway(v float64) float64 {
+	if v >= 0 {
+		return float64(int64(v + 0.5))
+	}
+	return float64(int64(v - 0.5))
+}
+
+func saturate16(v int32) int16 {
+	if v > fixedMax {
+		return fixedMax
+	}
+	if v < fixedMin {
+		return fixedMin
+	}
+	return int16(v)
+}
+
+func (t *FixedTable) maxRaw(s int) int16 {
+	row := t.q[s*t.actions : (s+1)*t.actions]
+	max := row[0]
+	for _, v := range row[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MaxQ implements Table.
+func (t *FixedTable) MaxQ(s int) float64 { return float64(t.maxRaw(s)) / FixedOne }
+
+// ArgMax implements Table.
+func (t *FixedTable) ArgMax(s int) int {
+	row := t.q[s*t.actions : (s+1)*t.actions]
+	best := 0
+	for a := 1; a < len(row); a++ {
+		if row[a] > row[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// Update implements Table using only integer arithmetic: one widening
+// multiplication for γ·maxQ(next), two arithmetic shifts for α, and
+// additions. Arithmetic right shifts round toward −∞, matching what a
+// Cortex-M3 ASR instruction produces.
+func (t *FixedTable) Update(s, a int, r float64, next int) (float64, bool) {
+	old := int32(t.q[t.idx(s, a)])
+	rQ := int32(roundHalfAway(r * FixedOne))
+	target := rQ + int32((int64(t.p.GammaNum)*int64(t.maxRaw(next)))>>8)
+	// (1−α)·old + α·target with α = 2^-shift: old − (old>>shift) + (target>>shift).
+	newV := old - (old >> t.p.AlphaShift) + (target >> t.p.AlphaShift)
+	stored := old - t.p.Xi
+	if newV > stored {
+		stored = newV
+	}
+	sat := saturate16(stored)
+	t.q[t.idx(s, a)] = sat
+	return float64(sat) / FixedOne, newV > old
+}
+
+// Reset implements Table.
+func (t *FixedTable) Reset() {
+	init := saturate16(t.p.InitQ)
+	for i := range t.q {
+		t.q[i] = init
+	}
+}
+
+// MemoryBytes reports the table's value-storage footprint, the figure the
+// paper's resource-efficiency argument is about (54 subslots × 3 actions ×
+// 2 bytes = 324 bytes on the M3).
+func (t *FixedTable) MemoryBytes() int { return len(t.q) * 2 }

@@ -1,0 +1,237 @@
+package qlearn
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedParamsValidate(t *testing.T) {
+	if err := DefaultFixedParams().Validate(); err != nil {
+		t.Fatalf("default fixed params invalid: %v", err)
+	}
+	bad := []FixedParams{
+		{AlphaShift: 9, GammaNum: 230},
+		{AlphaShift: 1, GammaNum: -1},
+		{AlphaShift: 1, GammaNum: 257},
+		{AlphaShift: 1, GammaNum: 230, Xi: -1},
+		{AlphaShift: 1, GammaNum: 230, InitQ: 1 << 20},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+// TestFixedReplaysFigure5 replays the paper's worked example on the integer
+// table: with α=1 (shift 0), γ=1 (256/256) and ξ=2 every intermediate value
+// is an exact integer, so fixed point must match the float table bit for
+// bit.
+func TestFixedReplaysFigure5(t *testing.T) {
+	fp := FixedParams{AlphaShift: 0, GammaNum: 256, Xi: 2 * FixedOne, InitQ: -10 * FixedOne}
+	ft := NewFixedTable(4, 3, fp)
+	lf := NewLearner(ft, figB)
+
+	p := Params{Alpha: 1, Gamma: 1, Xi: 2, InitQ: -10, Rule: RuleQMA}
+	rt := NewFloatTable(4, 3, p)
+	lr := NewLearner(rt, figB)
+
+	steps := []figStep{
+		{0, figS, 4}, {1, figB, 0}, {2, figS, -3}, {3, figB, 2},
+		{0, figS, 4}, {1, figB, 2}, {2, figB, 0}, {3, figB, 2},
+		{0, figS, 4}, {1, figB, 0}, {2, figB, 0}, {3, figB, 2},
+	}
+	for _, st := range steps {
+		next := (st.subslot + 1) % 4
+		lf.Observe(st.subslot, st.action, st.reward, next)
+		lr.Observe(st.subslot, st.action, st.reward, next)
+	}
+	for s := 0; s < 4; s++ {
+		for a := 0; a < 3; a++ {
+			if got, want := ft.Q(s, a), rt.Q(s, a); got != want {
+				t.Errorf("fixed Q(%d,%d) = %v, want %v", s, a, got, want)
+			}
+		}
+		if lf.Policy(s) != lr.Policy(s) {
+			t.Errorf("fixed π(%d) = %d, float π(%d) = %d", s, lf.Policy(s), s, lr.Policy(s))
+		}
+	}
+}
+
+// TestFixedTracksFloat drives identical random update sequences through the
+// fixed-point table and a float table configured with the same effective
+// γ = 230/256 and asserts bounded divergence (the quantization error
+// contracts geometrically under α=0.5, γ≈0.9).
+func TestFixedTracksFloat(t *testing.T) {
+	p := Params{Alpha: 0.5, Gamma: 230.0 / 256.0, Xi: 2, InitQ: -10, Rule: RuleQMA}
+	prop := func(seed int64) bool {
+		ft := NewFixedTable(6, 3, DefaultFixedParams())
+		rt := NewFloatTable(6, 3, p)
+		rewards := []float64{-3, -2, 0, 1, 2, 3, 4}
+		x := uint64(seed)
+		nextU := func(n int) int {
+			x = x*6364136223846793005 + 1442695040888963407
+			return int((x >> 33) % uint64(n))
+		}
+		for i := 0; i < 300; i++ {
+			s, a, r := nextU(6), nextU(3), rewards[nextU(len(rewards))]
+			next := nextU(6)
+			ft.Update(s, a, r, next)
+			rt.Update(s, a, r, next)
+		}
+		for s := 0; s < 6; s++ {
+			for a := 0; a < 3; a++ {
+				if math.Abs(ft.Q(s, a)-rt.Q(s, a)) > 0.5 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedSaturation(t *testing.T) {
+	ft := NewFixedTable(2, 2, DefaultFixedParams())
+	ft.SetQ(0, 0, 1e6)
+	if got := ft.Q(0, 0); got != float64(fixedMax)/FixedOne {
+		t.Errorf("SetQ did not saturate high: %v", got)
+	}
+	ft.SetQ(0, 0, -1e6)
+	if got := ft.Q(0, 0); got != float64(fixedMin)/FixedOne {
+		t.Errorf("SetQ did not saturate low: %v", got)
+	}
+	// Updates never wrap around either.
+	for i := 0; i < 100; i++ {
+		ft.Update(0, 0, 127, 1)
+	}
+	if got := ft.Q(0, 0); got > float64(fixedMax)/FixedOne || got < 0 {
+		t.Errorf("update wrapped around: %v", got)
+	}
+}
+
+func TestFixedNeverExceedsInt16Property(t *testing.T) {
+	prop := func(rewardsRaw []int8, states uint8) bool {
+		n := int(states%4) + 2
+		ft := NewFixedTable(n, 3, DefaultFixedParams())
+		for i, rr := range rewardsRaw {
+			s, a, next := i%n, i%3, (i+1)%n
+			ft.Update(s, a, float64(rr), next)
+		}
+		for s := 0; s < n; s++ {
+			for a := 0; a < 3; a++ {
+				raw := ft.Raw(s, a)
+				if int32(raw) > fixedMax || int32(raw) < fixedMin {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFixedMemoryBytes(t *testing.T) {
+	ft := NewFixedTable(54, 3, DefaultFixedParams())
+	if got := ft.MemoryBytes(); got != 324 {
+		t.Errorf("MemoryBytes = %d, want 324 (54 subslots × 3 actions × 2 B)", got)
+	}
+	qt := NewQuantTable(54, 3, DefaultQuantParams())
+	if got := qt.MemoryBytes(); got != 162 {
+		t.Errorf("quant MemoryBytes = %d, want 162", got)
+	}
+}
+
+func TestQuantParamsValidate(t *testing.T) {
+	if err := DefaultQuantParams().Validate(); err != nil {
+		t.Fatalf("default quant params invalid: %v", err)
+	}
+	bad := []QuantParams{
+		{AlphaShift: 8, GammaNum: 230},
+		{AlphaShift: 1, GammaNum: 300},
+		{AlphaShift: 1, GammaNum: 230, Xi: -2},
+		{AlphaShift: 1, GammaNum: 230, InitQ: -1000},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, p)
+		}
+	}
+}
+
+// TestQuantLearnsBandit checks the 8-bit table still separates a good from a
+// bad action in a simple stochastic bandit, the qualitative claim behind the
+// paper's §7 quantization proposal.
+func TestQuantLearnsBandit(t *testing.T) {
+	qt := NewQuantTable(1, 2, DefaultQuantParams())
+	l := NewLearner(qt, 0)
+	for i := 0; i < 50; i++ {
+		l.Observe(0, 0, -3, 0) // always collides
+		l.Observe(0, 1, 4, 0)  // always succeeds
+	}
+	if qt.Q(0, 1) <= qt.Q(0, 0) {
+		t.Fatalf("quant table failed to separate actions: Q(bad)=%v Q(good)=%v", qt.Q(0, 0), qt.Q(0, 1))
+	}
+	if l.Policy(0) != 1 {
+		t.Fatalf("policy = %d, want 1", l.Policy(0))
+	}
+}
+
+func TestQuantSaturation(t *testing.T) {
+	qt := NewQuantTable(1, 1, DefaultQuantParams())
+	for i := 0; i < 200; i++ {
+		qt.Update(0, 0, 31, 0)
+	}
+	if got := qt.Raw(0, 0); got != quantMax {
+		t.Errorf("Raw after repeated max rewards = %d, want %d", got, quantMax)
+	}
+	for i := 0; i < 500; i++ {
+		qt.Update(0, 0, -31, 0)
+	}
+	if got := qt.Raw(0, 0); int32(got) < quantMin {
+		t.Errorf("Raw wrapped below %d: %d", quantMin, got)
+	}
+}
+
+// TestTableInterfaceContract runs a shared contract over all three
+// implementations.
+func TestTableInterfaceContract(t *testing.T) {
+	tables := map[string]Table{
+		"float": NewFloatTable(5, 3, DefaultParams()),
+		"fixed": NewFixedTable(5, 3, DefaultFixedParams()),
+		"quant": NewQuantTable(5, 3, DefaultQuantParams()),
+	}
+	for name, tb := range tables {
+		t.Run(name, func(t *testing.T) {
+			if tb.States() != 5 || tb.Actions() != 3 {
+				t.Fatalf("dimensions = %dx%d", tb.States(), tb.Actions())
+			}
+			if got := tb.Q(2, 1); got != -10 {
+				t.Fatalf("initial Q = %v, want -10", got)
+			}
+			tb.SetQ(2, 1, 5)
+			if got := tb.Q(2, 1); got != 5 {
+				t.Fatalf("SetQ/Q = %v, want 5", got)
+			}
+			if got := tb.MaxQ(2); got != 5 {
+				t.Fatalf("MaxQ = %v, want 5", got)
+			}
+			if got := tb.ArgMax(2); got != 1 {
+				t.Fatalf("ArgMax = %d, want 1", got)
+			}
+			// An improving update reports improved=true.
+			if _, improved := tb.Update(0, 0, 4, 2); !improved {
+				t.Fatal("improving update reported improved=false")
+			}
+			tb.Reset()
+			if got := tb.Q(2, 1); got != -10 {
+				t.Fatalf("Reset left Q = %v", got)
+			}
+		})
+	}
+}

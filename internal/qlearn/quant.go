@@ -1,0 +1,160 @@
+package qlearn
+
+import "fmt"
+
+// QuantTable stores Q-values in a single byte each (Q5.2: range ±32 in steps
+// of 0.25), exercising the paper's future-work claim (§7) that "only 2-8 Bit
+// are required" per entry. Updates compute in 32-bit integer arithmetic and
+// saturate back to int8. It always applies the QMA rule (Eq. 5).
+
+// quantScale is the number of raw steps per unit (Q5.2 → 4).
+const quantScale = 4
+
+const (
+	quantMin = -1 << 7
+	quantMax = 1<<7 - 1
+)
+
+// QuantParams holds integer-only hyperparameters for QuantTable, in raw
+// quarter-unit steps.
+type QuantParams struct {
+	// AlphaShift encodes α = 2^-AlphaShift.
+	AlphaShift uint
+	// GammaNum encodes γ = GammaNum/256.
+	GammaNum int32
+	// Xi is the penalty in raw steps (8 → ξ = 2).
+	Xi int32
+	// InitQ is the initial value in raw steps (−40 → −10).
+	InitQ int32
+}
+
+// DefaultQuantParams mirrors DefaultParams in quarter-unit quantization.
+func DefaultQuantParams() QuantParams {
+	return QuantParams{AlphaShift: 1, GammaNum: 230, Xi: 2 * quantScale, InitQ: -10 * quantScale}
+}
+
+// Validate reports a descriptive error for unusable parameters.
+func (p QuantParams) Validate() error {
+	switch {
+	case p.AlphaShift > 7:
+		return fmt.Errorf("qlearn: AlphaShift=%d too large (max 7)", p.AlphaShift)
+	case p.GammaNum < 0 || p.GammaNum > 256:
+		return fmt.Errorf("qlearn: GammaNum=%d out of [0,256]", p.GammaNum)
+	case p.Xi < 0:
+		return fmt.Errorf("qlearn: Xi=%d must be non-negative", p.Xi)
+	case p.InitQ < quantMin || p.InitQ > quantMax:
+		return fmt.Errorf("qlearn: InitQ=%d out of int8 range", p.InitQ)
+	}
+	return nil
+}
+
+// QuantTable is a Table backed by one int8 per entry.
+type QuantTable struct {
+	p       QuantParams
+	states  int
+	actions int
+	q       []int8
+}
+
+var _ Table = (*QuantTable)(nil)
+
+// NewQuantTable returns a states × actions 8-bit table initialized to
+// p.InitQ. It panics on invalid parameters or non-positive dimensions.
+func NewQuantTable(states, actions int, p QuantParams) *QuantTable {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	if states <= 0 || actions <= 0 {
+		panic(fmt.Sprintf("qlearn: table dimensions %dx%d", states, actions))
+	}
+	t := &QuantTable{p: p, states: states, actions: actions, q: make([]int8, states*actions)}
+	t.Reset()
+	return t
+}
+
+// Params returns the table's hyperparameters.
+func (t *QuantTable) Params() QuantParams { return t.p }
+
+// States implements Table.
+func (t *QuantTable) States() int { return t.states }
+
+// Actions implements Table.
+func (t *QuantTable) Actions() int { return t.actions }
+
+func (t *QuantTable) idx(s, a int) int { return s*t.actions + a }
+
+// Raw reports the untranslated quarter-unit value for (s, a).
+func (t *QuantTable) Raw(s, a int) int8 { return t.q[t.idx(s, a)] }
+
+// Q implements Table.
+func (t *QuantTable) Q(s, a int) float64 {
+	return float64(t.q[t.idx(s, a)]) / quantScale
+}
+
+// SetQ implements Table; v is rounded to the nearest quarter and saturated.
+func (t *QuantTable) SetQ(s, a int, v float64) {
+	t.q[t.idx(s, a)] = saturate8(int32(roundHalfAway(v * quantScale)))
+}
+
+func saturate8(v int32) int8 {
+	if v > quantMax {
+		return quantMax
+	}
+	if v < quantMin {
+		return quantMin
+	}
+	return int8(v)
+}
+
+func (t *QuantTable) maxRaw(s int) int8 {
+	row := t.q[s*t.actions : (s+1)*t.actions]
+	max := row[0]
+	for _, v := range row[1:] {
+		if v > max {
+			max = v
+		}
+	}
+	return max
+}
+
+// MaxQ implements Table.
+func (t *QuantTable) MaxQ(s int) float64 { return float64(t.maxRaw(s)) / quantScale }
+
+// ArgMax implements Table.
+func (t *QuantTable) ArgMax(s int) int {
+	row := t.q[s*t.actions : (s+1)*t.actions]
+	best := 0
+	for a := 1; a < len(row); a++ {
+		if row[a] > row[best] {
+			best = a
+		}
+	}
+	return best
+}
+
+// Update implements Table in 32-bit integer arithmetic with int8 saturation.
+func (t *QuantTable) Update(s, a int, r float64, next int) (float64, bool) {
+	old := int32(t.q[t.idx(s, a)])
+	rQ := int32(roundHalfAway(r * quantScale))
+	target := rQ + int32((int64(t.p.GammaNum)*int64(t.maxRaw(next)))>>8)
+	newV := old - (old >> t.p.AlphaShift) + (target >> t.p.AlphaShift)
+	stored := old - t.p.Xi
+	if newV > stored {
+		stored = newV
+	}
+	sat := saturate8(stored)
+	t.q[t.idx(s, a)] = sat
+	return float64(sat) / quantScale, newV > old
+}
+
+// Reset implements Table.
+func (t *QuantTable) Reset() {
+	init := saturate8(t.p.InitQ)
+	for i := range t.q {
+		t.q[i] = init
+	}
+}
+
+// MemoryBytes reports the table's value-storage footprint (54 × 3 = 162
+// bytes for the paper's configuration).
+func (t *QuantTable) MemoryBytes() int { return len(t.q) }

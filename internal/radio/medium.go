@@ -1,0 +1,281 @@
+package radio
+
+import (
+	"fmt"
+
+	"qma/internal/frame"
+	"qma/internal/sim"
+)
+
+// Handler receives every frame a node successfully decodes, whether or not
+// the frame is addressed to it (overheard frames drive QMA's QBackoff
+// reward). MAC engines implement Handler.
+type Handler interface {
+	Deliver(f *frame.Frame)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(f *frame.Frame)
+
+// Deliver implements Handler.
+func (h HandlerFunc) Deliver(f *frame.Frame) { h(f) }
+
+// transmission tracks one frame on the air.
+type transmission struct {
+	src     frame.NodeID
+	f       *frame.Frame
+	channel uint8
+	start   sim.Time
+	end     sim.Time
+	// corrupt[i] is true when the reception at decode-neighbour i collided
+	// or the receiver was transmitting; indexed parallel to receivers.
+	corrupt []bool
+	// receivers are the decode-neighbours of src (precomputed).
+	receivers []frame.NodeID
+}
+
+// NodeStats aggregates per-node medium-level counters.
+type NodeStats struct {
+	// TxCount is the number of started transmissions.
+	TxCount uint64
+	// TxAirtime is the cumulative on-air time.
+	TxAirtime sim.Time
+	// RxDelivered counts successfully decoded frames (any destination).
+	RxDelivered uint64
+	// RxCollided counts receptions lost to collisions or half-duplex.
+	RxCollided uint64
+	// RxFaded counts receptions lost to random link loss.
+	RxFaded uint64
+	// CCACount counts clear channel assessments performed.
+	CCACount uint64
+	// CCABusy counts CCAs that reported a busy channel.
+	CCABusy uint64
+}
+
+// Medium is the shared wireless channel. It is bound to one simulation
+// kernel and is not safe for concurrent use.
+type Medium struct {
+	k    *sim.Kernel
+	topo Topology
+	rng  *sim.Rand
+
+	handlers []Handler
+	stats    []NodeStats
+	// tuned[i] is the channel node i's receiver is currently tuned to
+	// (0, the common CAP channel, by default).
+	tuned []uint8
+	// txUntil[i] is the end of node i's current transmission (0 if idle).
+	txUntil []sim.Time
+	// rxCount[i] is the number of decodable transmissions currently
+	// overlapping at node i.
+	rxCount []int
+	// inflight[i] are the transmissions currently decodable at node i.
+	inflight [][]*transmission
+	// active is the set of all ongoing transmissions (for CCA).
+	active []*transmission
+
+	// decodeNbrs[i] / senseNbrs[i] are precomputed neighbour lists.
+	decodeNbrs [][]frame.NodeID
+	senseNbrs  [][]bool // senseNbrs[src][dst]
+}
+
+// NewMedium builds a medium over the given topology. rng drives
+// probabilistic link loss and must be private to this medium.
+func NewMedium(k *sim.Kernel, topo Topology, rng *sim.Rand) *Medium {
+	n := topo.NumNodes()
+	m := &Medium{
+		k:          k,
+		topo:       topo,
+		rng:        rng,
+		handlers:   make([]Handler, n),
+		stats:      make([]NodeStats, n),
+		tuned:      make([]uint8, n),
+		txUntil:    make([]sim.Time, n),
+		rxCount:    make([]int, n),
+		inflight:   make([][]*transmission, n),
+		decodeNbrs: make([][]frame.NodeID, n),
+		senseNbrs:  make([][]bool, n),
+	}
+	for src := 0; src < n; src++ {
+		m.senseNbrs[src] = make([]bool, n)
+		for dst := 0; dst < n; dst++ {
+			if src == dst {
+				continue
+			}
+			s, d := frame.NodeID(src), frame.NodeID(dst)
+			if topo.CanDecode(s, d) {
+				m.decodeNbrs[src] = append(m.decodeNbrs[src], d)
+			}
+			m.senseNbrs[src][dst] = topo.CanSense(s, d)
+		}
+	}
+	return m
+}
+
+// Attach registers the handler for node id. It must be called once per node
+// before any transmission.
+func (m *Medium) Attach(id frame.NodeID, h Handler) {
+	if m.handlers[id] != nil {
+		panic(fmt.Sprintf("radio: node %d attached twice", id))
+	}
+	m.handlers[id] = h
+}
+
+// Stats returns a copy of the counters for node id.
+func (m *Medium) Stats(id frame.NodeID) NodeStats { return m.stats[id] }
+
+// SetTuned switches node id's receiver to the given channel. Receptions in
+// flight on the previous channel are lost (their delivery check happens at
+// transmission end against the then-current tuning).
+func (m *Medium) SetTuned(id frame.NodeID, channel uint8) { m.tuned[id] = channel }
+
+// Tuned reports the channel node id's receiver listens on.
+func (m *Medium) Tuned(id frame.NodeID) uint8 { return m.tuned[id] }
+
+// Transmitting reports whether node id is currently transmitting.
+func (m *Medium) Transmitting(id frame.NodeID) bool {
+	return m.txUntil[id] > m.k.Now()
+}
+
+// Receiving reports whether at least one decodable transmission currently
+// overlaps node id.
+func (m *Medium) Receiving(id frame.NodeID) bool { return m.rxCount[id] > 0 }
+
+// CCA performs a clear channel assessment at node id and reports true when
+// the channel the node is tuned to is clear. Busy means some ongoing
+// same-channel transmission is above the node's energy-detection threshold.
+// A node must not CCA while transmitting.
+func (m *Medium) CCA(id frame.NodeID) bool {
+	m.stats[id].CCACount++
+	for _, t := range m.active {
+		if t.end > m.k.Now() && t.channel == m.tuned[id] && m.senseNbrs[t.src][id] {
+			m.stats[id].CCABusy++
+			return false
+		}
+	}
+	return true
+}
+
+// StartTX puts f on the air from src and returns the transmission end time.
+// The caller (MAC) is responsible for scheduling its own post-TX logic (ACK
+// waits etc). Panics if src is already transmitting — MAC engines must
+// serialize their own transmissions.
+func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
+	now := m.k.Now()
+	if m.txUntil[src] > now {
+		panic(fmt.Sprintf("radio: node %d starts TX while transmitting (until %v, now %v)", src, m.txUntil[src], now))
+	}
+	dur := f.Duration()
+	end := now + dur
+	m.txUntil[src] = end
+	m.stats[src].TxCount++
+	m.stats[src].TxAirtime += dur
+
+	// Only neighbours tuned to the frame's channel at transmission start can
+	// synchronize on it (eligibility is captured at the start; a receiver
+	// retuning mid-flight loses the frame through the end-of-transmission
+	// tuning check instead).
+	var receivers []frame.NodeID
+	for _, r := range m.decodeNbrs[src] {
+		if m.tuned[r] == f.Channel {
+			receivers = append(receivers, r)
+		}
+	}
+	t := &transmission{
+		src:       src,
+		f:         f,
+		channel:   f.Channel,
+		start:     now,
+		end:       end,
+		receivers: receivers,
+		corrupt:   make([]bool, len(receivers)),
+	}
+	m.active = append(m.active, t)
+
+	// A transmitter cannot receive: corrupt everything in flight at src.
+	m.corruptAllAt(src)
+
+	for i, r := range t.receivers {
+		// Half-duplex receiver or an already-busy channel at r corrupts this
+		// reception; a new arrival also corrupts whatever r was receiving.
+		if m.txUntil[r] > now {
+			t.corrupt[i] = true
+		}
+		if m.rxCount[r] > 0 {
+			t.corrupt[i] = true
+			m.corruptAllAt(r)
+		}
+		m.rxCount[r]++
+		m.inflight[r] = append(m.inflight[r], t)
+	}
+
+	m.k.At(end, func() { m.endTX(t) })
+	return end
+}
+
+// corruptAllAt marks every in-flight reception at node id as collided.
+func (m *Medium) corruptAllAt(id frame.NodeID) {
+	for _, t := range m.inflight[id] {
+		for i, r := range t.receivers {
+			if r == id {
+				t.corrupt[i] = true
+			}
+		}
+	}
+}
+
+// endTX finalizes a transmission: removes it from the air and delivers it to
+// every receiver whose copy survived.
+func (m *Medium) endTX(t *transmission) {
+	// Remove from active set.
+	for i, a := range m.active {
+		if a == t {
+			m.active[i] = m.active[len(m.active)-1]
+			m.active[len(m.active)-1] = nil
+			m.active = m.active[:len(m.active)-1]
+			break
+		}
+	}
+	for i, r := range t.receivers {
+		m.rxCount[r]--
+		m.removeInflight(r, t)
+		if t.corrupt[i] {
+			m.stats[r].RxCollided++
+			continue
+		}
+		if m.tuned[r] != t.channel {
+			// The receiver retuned away mid-flight (e.g. its GTS ended).
+			m.stats[r].RxCollided++
+			continue
+		}
+		// A receiver that is transmitting exactly as the frame ends cannot
+		// have synchronized on it (covered by corrupt flag), but a receiver
+		// may still lose the frame to fading.
+		if p := m.topo.DeliveryProb(t.src, r); p < 1 && !m.rng.Bool(p) {
+			m.stats[r].RxFaded++
+			continue
+		}
+		m.stats[r].RxDelivered++
+		if h := m.handlers[r]; h != nil {
+			h.Deliver(t.f)
+		}
+	}
+}
+
+func (m *Medium) removeInflight(id frame.NodeID, t *transmission) {
+	fl := m.inflight[id]
+	for i, x := range fl {
+		if x == t {
+			fl[i] = fl[len(fl)-1]
+			fl[len(fl)-1] = nil
+			m.inflight[id] = fl[:len(fl)-1]
+			return
+		}
+	}
+}
+
+// DecodeNeighbors returns the ids that can decode transmissions from src
+// (shared slice; callers must not mutate).
+func (m *Medium) DecodeNeighbors(src frame.NodeID) []frame.NodeID {
+	return m.decodeNbrs[src]
+}

@@ -1,0 +1,216 @@
+// Package radio simulates the wireless medium: who hears whom, receiver-side
+// collisions, half-duplex constraints, clear channel assessment and
+// probabilistic link loss. It provides two connectivity models — an explicit
+// graph (used for the hidden-node scenarios, where the paper defines
+// connectivity directly) and a log-distance path-loss model (our substitute
+// for the FIT IoT-LAB testbed channel).
+package radio
+
+import (
+	"math"
+
+	"qma/internal/frame"
+)
+
+// Topology answers connectivity questions for a fixed set of nodes,
+// identified by dense ids [0, NumNodes).
+type Topology interface {
+	// NumNodes reports how many nodes exist.
+	NumNodes() int
+	// CanDecode reports whether dst can receive (and is interfered by)
+	// transmissions from src, absent collisions.
+	CanDecode(src, dst frame.NodeID) bool
+	// CanSense reports whether a CCA at dst detects a transmission by src.
+	// Sensing range is never larger than decode range in this model
+	// (energy-detection thresholds sit above receiver sensitivity).
+	CanSense(src, dst frame.NodeID) bool
+	// DeliveryProb is the probability a collision-free frame from src is
+	// decoded by dst (models fading; 1 for ideal links).
+	DeliveryProb(src, dst frame.NodeID) float64
+}
+
+// GraphTopology is an explicit connectivity graph: node i hears exactly the
+// nodes in its adjacency set. Decode and sense sets coincide and links are
+// lossless unless LossProb is set.
+type GraphTopology struct {
+	n   int
+	adj []map[frame.NodeID]bool
+	// LossProb is an optional independent per-frame loss probability applied
+	// to every link (0 = ideal).
+	LossProb float64
+}
+
+var _ Topology = (*GraphTopology)(nil)
+
+// NewGraphTopology returns a graph over n nodes with no edges.
+func NewGraphTopology(n int) *GraphTopology {
+	adj := make([]map[frame.NodeID]bool, n)
+	for i := range adj {
+		adj[i] = make(map[frame.NodeID]bool)
+	}
+	return &GraphTopology{n: n, adj: adj}
+}
+
+// AddLink adds a bidirectional edge between a and b.
+func (g *GraphTopology) AddLink(a, b frame.NodeID) {
+	if a == b {
+		return
+	}
+	g.adj[a][b] = true
+	g.adj[b][a] = true
+}
+
+// NumNodes implements Topology.
+func (g *GraphTopology) NumNodes() int { return g.n }
+
+// CanDecode implements Topology.
+func (g *GraphTopology) CanDecode(src, dst frame.NodeID) bool {
+	return src != dst && g.adj[src][dst]
+}
+
+// CanSense implements Topology.
+func (g *GraphTopology) CanSense(src, dst frame.NodeID) bool {
+	return g.CanDecode(src, dst)
+}
+
+// DeliveryProb implements Topology.
+func (g *GraphTopology) DeliveryProb(src, dst frame.NodeID) float64 {
+	return 1 - g.LossProb
+}
+
+// Neighbors returns the adjacency set of id (shared; callers must not
+// mutate).
+func (g *GraphTopology) Neighbors(id frame.NodeID) []frame.NodeID {
+	out := make([]frame.NodeID, 0, len(g.adj[id]))
+	for n := range g.adj[id] {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Position is a planar node coordinate in meters.
+type Position struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// PathLossConfig parameterizes the log-distance channel used as the testbed
+// substitute. Defaults (via DefaultPathLossConfig) follow the paper's
+// Strasbourg settings: TX power −9 dBm / sensitivity −72 dBm for the tree,
+// 3 dBm / −90 dBm for the star.
+type PathLossConfig struct {
+	// TxPowerDBm is the transmit power.
+	TxPowerDBm float64
+	// SensitivityDBm is the weakest decodable signal.
+	SensitivityDBm float64
+	// CCAMarginDB raises the energy-detection threshold above sensitivity
+	// (802.15.4 allows up to 10 dB).
+	CCAMarginDB float64
+	// PathLossExponent is the log-distance exponent (2 free space, ~3 indoor).
+	PathLossExponent float64
+	// ReferenceLossDB is the loss at 1 m (≈40 dB at 2.4 GHz).
+	ReferenceLossDB float64
+	// ShadowSigmaDB is the per-link log-normal shadowing deviation; the
+	// shadowing realization is fixed per link (frozen channel) and drawn
+	// from ShadowSeed so topologies are reproducible.
+	ShadowSigmaDB float64
+	ShadowSeed    uint64
+	// FadingLossProb is an independent per-frame loss probability on
+	// decodable links (fast fading residual).
+	FadingLossProb float64
+}
+
+// DefaultPathLossConfig returns an indoor-testbed-like parameterization.
+func DefaultPathLossConfig() PathLossConfig {
+	return PathLossConfig{
+		TxPowerDBm:       -9,
+		SensitivityDBm:   -72,
+		CCAMarginDB:      10,
+		PathLossExponent: 3.0,
+		ReferenceLossDB:  40,
+		ShadowSigmaDB:    0,
+		FadingLossProb:   0,
+	}
+}
+
+// PathLossTopology derives connectivity from node positions and a
+// log-distance path-loss law with optional frozen shadowing.
+type PathLossTopology struct {
+	cfg PathLossConfig
+	pos []Position
+	// rssi[src][dst] is the received power in dBm.
+	rssi [][]float64
+}
+
+var _ Topology = (*PathLossTopology)(nil)
+
+// NewPathLossTopology computes the link matrix for the given positions.
+func NewPathLossTopology(cfg PathLossConfig, positions []Position) *PathLossTopology {
+	n := len(positions)
+	t := &PathLossTopology{cfg: cfg, pos: positions, rssi: make([][]float64, n)}
+	// Frozen symmetric shadowing per unordered pair.
+	shadow := func(a, b int) float64 {
+		if cfg.ShadowSigmaDB == 0 {
+			return 0
+		}
+		if a > b {
+			a, b = b, a
+		}
+		h := splitmixPair(cfg.ShadowSeed, uint64(a), uint64(b))
+		// Convert two 32-bit halves to a normal via Box–Muller.
+		u1 := (float64(h>>32) + 0.5) / (1 << 32)
+		u2 := (float64(uint32(h)) + 0.5) / (1 << 32)
+		return cfg.ShadowSigmaDB * math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	}
+	for i := 0; i < n; i++ {
+		t.rssi[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				t.rssi[i][j] = math.Inf(1)
+				continue
+			}
+			d := positions[i].Distance(positions[j])
+			if d < 0.1 {
+				d = 0.1
+			}
+			pl := cfg.ReferenceLossDB + 10*cfg.PathLossExponent*math.Log10(d)
+			t.rssi[i][j] = cfg.TxPowerDBm - pl + shadow(i, j)
+		}
+	}
+	return t
+}
+
+func splitmixPair(seed, a, b uint64) uint64 {
+	x := seed ^ (a * 0x9e3779b97f4a7c15) ^ (b * 0xbf58476d1ce4e5b9)
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NumNodes implements Topology.
+func (t *PathLossTopology) NumNodes() int { return len(t.pos) }
+
+// RSSI reports the received power at dst for a transmission by src, in dBm.
+func (t *PathLossTopology) RSSI(src, dst frame.NodeID) float64 { return t.rssi[src][dst] }
+
+// CanDecode implements Topology.
+func (t *PathLossTopology) CanDecode(src, dst frame.NodeID) bool {
+	return src != dst && t.rssi[src][dst] >= t.cfg.SensitivityDBm
+}
+
+// CanSense implements Topology.
+func (t *PathLossTopology) CanSense(src, dst frame.NodeID) bool {
+	return src != dst && t.rssi[src][dst] >= t.cfg.SensitivityDBm+t.cfg.CCAMarginDB
+}
+
+// DeliveryProb implements Topology.
+func (t *PathLossTopology) DeliveryProb(src, dst frame.NodeID) float64 {
+	return 1 - t.cfg.FadingLossProb
+}
+
+// Positions returns the node coordinates (shared; callers must not mutate).
+func (t *PathLossTopology) Positions() []Position { return t.pos }

@@ -1,0 +1,496 @@
+// Package scenario wires topologies, MAC engines, traffic generators and
+// instrumentation into complete, reproducible simulation runs. Every
+// experiment of the evaluation (and the public qma facade) builds on Run:
+// given a Config and a seed it produces the per-node metrics the paper's
+// figures report — PDR, end-to-end delay, queue levels, cumulative Q-values,
+// exploration rates and slot utilization.
+package scenario
+
+import (
+	"fmt"
+
+	"qma/internal/core"
+	"qma/internal/csma"
+	"qma/internal/frame"
+	"qma/internal/mac"
+	"qma/internal/qlearn"
+	"qma/internal/radio"
+	"qma/internal/sim"
+	"qma/internal/stats"
+	"qma/internal/superframe"
+	"qma/internal/topo"
+	"qma/internal/traffic"
+)
+
+// MACKind selects the channel access scheme under test.
+type MACKind uint8
+
+const (
+	// QMA is the paper's Q-learning MAC.
+	QMA MACKind = iota
+	// CSMAUnslotted is the unslotted CSMA/CA baseline.
+	CSMAUnslotted
+	// CSMASlotted is the slotted CSMA/CA baseline.
+	CSMASlotted
+)
+
+// String implements fmt.Stringer.
+func (k MACKind) String() string {
+	switch k {
+	case QMA:
+		return "QMA"
+	case CSMAUnslotted:
+		return "unslotted CSMA/CA"
+	case CSMASlotted:
+		return "slotted CSMA/CA"
+	default:
+		return fmt.Sprintf("MACKind(%d)", uint8(k))
+	}
+}
+
+// TableKind selects the Q-value storage for QMA nodes.
+type TableKind uint8
+
+const (
+	// TableFloat is the float64 reference table.
+	TableFloat TableKind = iota
+	// TableFixed is the Q8.8 integer table (§3.2 embedded variant).
+	TableFixed
+	// TableQuant is the 8-bit saturating table (§7 future-work variant).
+	TableQuant
+)
+
+// QMAOptions tunes the QMA engines of a scenario.
+type QMAOptions struct {
+	// Learn are the hyperparameters (zero value selects the paper's
+	// α=0.5, γ=0.9, ξ=2).
+	Learn qlearn.Params
+	// Table selects the Q-value representation.
+	Table TableKind
+	// Explorer decides ρ; nil selects parameter-based exploration (Fig. 4).
+	Explorer qlearn.Explorer
+	// StartupSubslots is Δ; negative selects the engine default, 0 disables
+	// cautious startup.
+	StartupSubslots int
+	// DisableStartupPunish turns off the §4.3 QCCA/QSend punishments.
+	DisableStartupPunish bool
+	// ReevalOnDecay enables the policy-reevaluation ablation.
+	ReevalOnDecay bool
+}
+
+// TrafficSpec attaches a Poisson data source to a node.
+type TrafficSpec struct {
+	// Origin is the generating node.
+	Origin frame.NodeID
+	// Phases is the cyclic rate schedule (packets/second).
+	Phases []traffic.Phase
+	// StartAt delays generation.
+	StartAt sim.Time
+	// MaxPackets bounds generation (0 = unbounded).
+	MaxPackets int
+	// Tag classifies the frames (evaluation vs management).
+	Tag frame.Tag
+	// MPDUBytes overrides the default frame size when positive.
+	MPDUBytes int
+}
+
+// BroadcastSpec attaches a periodic broadcast source to a node.
+type BroadcastSpec struct {
+	// Origin is the broadcasting node.
+	Origin frame.NodeID
+	// Period is the mean broadcast interval.
+	Period sim.Time
+	// StartAt delays the first broadcast.
+	StartAt sim.Time
+}
+
+// Config describes one run.
+type Config struct {
+	// Network is the topology with routing; required.
+	Network *topo.Network
+	// MAC selects the channel access scheme.
+	MAC MACKind
+	// QMA tunes QMA engines (ignored for CSMA runs).
+	QMA QMAOptions
+	// Superframe overrides the DSME timing (zero value selects the default).
+	Superframe superframe.Config
+	// QueueCap bounds the transmit queues (0 selects the paper's 8).
+	QueueCap int
+	// MaxRetries is NR: 0 selects the standard's 3, negative disables
+	// retransmissions entirely.
+	MaxRetries int
+	// Seed selects the run's random streams; replications vary it.
+	Seed uint64
+	// Duration is the simulated time.
+	Duration sim.Time
+	// Traffic are the unicast data sources.
+	Traffic []TrafficSpec
+	// Broadcasts are the periodic broadcast sources.
+	Broadcasts []BroadcastSpec
+	// SamplePeriod enables time-series sampling of cumulative Q, ρ and
+	// queue levels at this period (0 disables; the figures sample once per
+	// superframe, 122.88 ms).
+	SamplePeriod sim.Time
+	// MeasureFrom restarts queue-level averaging at this instant so warm-up
+	// does not bias the Fig. 8 metric.
+	MeasureFrom sim.Time
+}
+
+// NodeResult carries everything measured at one node.
+type NodeResult struct {
+	// ID is the dense node id, Label the paper's name for it.
+	ID    frame.NodeID
+	Label string
+	// Generated counts evaluation packets originated here; Delivered counts
+	// evaluation packets from this origin accepted at their sink; DelaySum
+	// accumulates their end-to-end delays.
+	Generated uint64
+	Delivered uint64
+	DelaySum  sim.Time
+	// AvgQueueLevel is the time-averaged transmit-queue occupancy since
+	// MeasureFrom (Fig. 8).
+	AvgQueueLevel float64
+	// MAC are the shared MAC counters, Radio the medium-level counters.
+	MAC   mac.Stats
+	Radio radio.NodeStats
+	// QMA-only: engine counters, final policy, per-subslot action counts and
+	// sampled series (nil/empty for CSMA nodes or when sampling is off).
+	Engine       core.Stats
+	Policy       []int
+	ActionCounts [][core.NumActions]uint64
+	CumQ         *stats.Series
+	Rho          *stats.Series
+	QueueSeries  *stats.Series
+}
+
+// PDR reports Delivered/Generated for this origin (1 when nothing was
+// generated).
+func (n *NodeResult) PDR() float64 {
+	if n.Generated == 0 {
+		return 1
+	}
+	return float64(n.Delivered) / float64(n.Generated)
+}
+
+// MeanDelay reports the mean end-to-end delay of delivered evaluation
+// packets in seconds.
+func (n *NodeResult) MeanDelay() float64 {
+	if n.Delivered == 0 {
+		return 0
+	}
+	return (sim.Time(float64(n.DelaySum) / float64(n.Delivered))).Seconds()
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Nodes holds one entry per node, indexed by dense id.
+	Nodes []NodeResult
+	// Clock is the superframe clock the run used.
+	Clock *superframe.Clock
+	// Duration is the simulated time actually run.
+	Duration sim.Time
+}
+
+// NetworkPDR reports total delivered / total generated evaluation packets
+// across all origins (the headline Fig. 7 metric).
+func (r *Result) NetworkPDR() float64 {
+	var gen, del uint64
+	for i := range r.Nodes {
+		gen += r.Nodes[i].Generated
+		del += r.Nodes[i].Delivered
+	}
+	if gen == 0 {
+		return 1
+	}
+	return float64(del) / float64(gen)
+}
+
+// MeanDelay reports the mean end-to-end delay over all delivered evaluation
+// packets, in seconds (Fig. 9).
+func (r *Result) MeanDelay() float64 {
+	var sum sim.Time
+	var n uint64
+	for i := range r.Nodes {
+		sum += r.Nodes[i].DelaySum
+		n += r.Nodes[i].Delivered
+	}
+	if n == 0 {
+		return 0
+	}
+	return (sim.Time(float64(sum) / float64(n))).Seconds()
+}
+
+// MeanQueueLevel reports the mean of the per-origin average queue levels for
+// the given nodes (Fig. 8 plots nodes A and C).
+func (r *Result) MeanQueueLevel(ids ...frame.NodeID) float64 {
+	if len(ids) == 0 {
+		for i := range r.Nodes {
+			ids = append(ids, frame.NodeID(i))
+		}
+	}
+	var sum float64
+	for _, id := range ids {
+		sum += r.Nodes[id].AvgQueueLevel
+	}
+	return sum / float64(len(ids))
+}
+
+// run holds the live objects during a simulation.
+type run struct {
+	cfg     Config
+	kernel  *sim.Kernel
+	clock   *superframe.Clock
+	medium  *radio.Medium
+	engines []mac.Engine
+	qma     []*core.Engine // nil entries for CSMA runs
+	result  *Result
+}
+
+// Run executes the scenario and returns its metrics. It panics on
+// configuration errors (scenario assembly is programmer-controlled) but
+// never on simulation behaviour.
+func Run(cfg Config) *Result {
+	return RunWithEngines(cfg).Result
+}
+
+// Output bundles a Result with the live engines for post-run inspection
+// (per-engine counters, Q-tables).
+type Output struct {
+	*Result
+	Engines []mac.Engine
+}
+
+// RunWithEngines is Run, additionally exposing the engines.
+func RunWithEngines(cfg Config) *Output {
+	r := build(cfg)
+	r.kernel.Run(cfg.Duration)
+	r.collect()
+	return &Output{Result: r.result, Engines: r.engines}
+}
+
+// build assembles kernel, medium, engines, traffic and instrumentation.
+func build(cfg Config) *run {
+	if cfg.Network == nil {
+		panic("scenario: Network is required")
+	}
+	if cfg.Duration <= 0 {
+		panic("scenario: Duration must be positive")
+	}
+	sfCfg := cfg.Superframe
+	if sfCfg == (superframe.Config{}) {
+		sfCfg = superframe.DefaultConfig()
+	}
+	clock := superframe.NewClock(sfCfg)
+	kernel := sim.NewKernel()
+	n := cfg.Network.NumNodes()
+
+	// Stream layout: 0..n-1 engines, 1000 medium, 2000+i traffic,
+	// 3000+i broadcasts. Fixed offsets keep every consumer's stream stable
+	// when instrumentation is added or removed.
+	medium := radio.NewMedium(kernel, cfg.Network.Topology, sim.NewRandStream(cfg.Seed, 1000))
+
+	r := &run{
+		cfg:     cfg,
+		kernel:  kernel,
+		clock:   clock,
+		medium:  medium,
+		engines: make([]mac.Engine, n),
+		qma:     make([]*core.Engine, n),
+		result:  &Result{Nodes: make([]NodeResult, n), Clock: clock, Duration: cfg.Duration},
+	}
+
+	for i := 0; i < n; i++ {
+		id := frame.NodeID(i)
+		r.result.Nodes[i] = NodeResult{ID: id, Label: cfg.Network.Label(id)}
+		r.engines[i] = r.buildEngine(id)
+		medium.Attach(id, r.engines[i])
+	}
+	for i := range r.engines {
+		r.engines[i].Start()
+	}
+	if cfg.MeasureFrom > 0 {
+		kernel.At(cfg.MeasureFrom, func() {
+			for _, e := range r.engines {
+				e.Base().ResetQueueIntegral()
+			}
+		})
+	}
+	r.buildTraffic()
+	if cfg.SamplePeriod > 0 {
+		r.armSampler()
+	}
+	return r
+}
+
+func (r *run) macConfig(id frame.NodeID) mac.Config {
+	retries := r.cfg.MaxRetries
+	switch {
+	case retries == 0:
+		retries = -1 // mac default (3)
+	case retries < 0:
+		retries = 0 // disabled
+	}
+	return mac.Config{
+		ID:         id,
+		Kernel:     r.kernel,
+		Medium:     r.medium,
+		Clock:      r.clock,
+		QueueCap:   r.cfg.QueueCap,
+		MaxRetries: retries,
+		Router:     r.cfg.Network,
+		OnSinkDeliver: func(f *frame.Frame) {
+			if f.Tag != frame.TagEval || f.Kind != frame.Data {
+				return
+			}
+			origin := &r.result.Nodes[f.Origin]
+			origin.Delivered++
+			origin.DelaySum += r.kernel.Now() - f.CreatedAt
+		},
+	}
+}
+
+func (r *run) buildEngine(id frame.NodeID) mac.Engine {
+	rng := sim.NewRandStream(r.cfg.Seed, uint64(id))
+	e := BuildEngine(r.cfg.MAC, r.cfg.QMA, r.macConfig(id), rng)
+	if q, ok := e.(*core.Engine); ok {
+		r.qma[id] = q
+	}
+	return e
+}
+
+// BuildEngine constructs a MAC engine of the requested kind over macCfg.
+// The DSME scenario builder (internal/dsme) shares it so that both
+// evaluation tracks run byte-identical engines.
+func BuildEngine(kind MACKind, opts QMAOptions, macCfg mac.Config, rng *sim.Rand) mac.Engine {
+	switch kind {
+	case QMA:
+		subslots := macCfg.Clock.Config().Subslots
+		var table qlearn.Table
+		learn := opts.Learn
+		if learn == (qlearn.Params{}) {
+			learn = qlearn.DefaultParams()
+		}
+		switch opts.Table {
+		case TableFixed:
+			table = qlearn.NewFixedTable(subslots, core.NumActions, qlearn.DefaultFixedParams())
+		case TableQuant:
+			table = qlearn.NewQuantTable(subslots, core.NumActions, qlearn.DefaultQuantParams())
+		default:
+			table = qlearn.NewFloatTable(subslots, core.NumActions, learn)
+		}
+		startup := opts.StartupSubslots
+		switch {
+		case startup == 0:
+			// The scenario-level zero value means "engine default"; a
+			// negative value disables cautious startup.
+			startup = -1
+		case startup < 0:
+			startup = 0
+		}
+		return core.New(core.Config{
+			MAC:             macCfg,
+			Table:           table,
+			Learn:           learn,
+			Explorer:        opts.Explorer,
+			Rng:             rng,
+			StartupSubslots: startup,
+			StartupPunish:   !opts.DisableStartupPunish,
+			ReevalOnDecay:   opts.ReevalOnDecay,
+		})
+	case CSMAUnslotted, CSMASlotted:
+		variant := csma.Unslotted
+		if kind == CSMASlotted {
+			variant = csma.Slotted
+		}
+		return csma.New(csma.Config{MAC: macCfg, Variant: variant, Rng: rng})
+	default:
+		panic(fmt.Sprintf("scenario: unknown MAC kind %d", kind))
+	}
+}
+
+func (r *run) buildTraffic() {
+	seqs := make(map[frame.NodeID]*uint32)
+	for _, spec := range r.cfg.Traffic {
+		spec := spec
+		if seqs[spec.Origin] == nil {
+			seqs[spec.Origin] = new(uint32)
+		}
+		firstHop, ok := r.cfg.Network.NextHop(spec.Origin, r.cfg.Network.Sink)
+		if !ok {
+			panic(fmt.Sprintf("scenario: node %d has no route to the sink", spec.Origin))
+		}
+		node := &r.result.Nodes[spec.Origin]
+		src := &traffic.Source{
+			Kernel:     r.kernel,
+			Rng:        sim.NewRandStream(r.cfg.Seed, 2000+uint64(spec.Origin)+uint64(spec.Tag)*500),
+			Target:     r.engines[spec.Origin],
+			Origin:     spec.Origin,
+			Sink:       r.cfg.Network.Sink,
+			FirstHop:   firstHop,
+			Phases:     spec.Phases,
+			StartAt:    spec.StartAt,
+			MaxPackets: spec.MaxPackets,
+			MPDUBytes:  spec.MPDUBytes,
+			Tag:        spec.Tag,
+			Seq:        seqs[spec.Origin],
+			OnGenerate: func(f *frame.Frame) {
+				if f.Tag == frame.TagEval {
+					node.Generated++
+				}
+			},
+		}
+		src.Start()
+	}
+	for _, spec := range r.cfg.Broadcasts {
+		b := &traffic.BroadcastSource{
+			Kernel:  r.kernel,
+			Rng:     sim.NewRandStream(r.cfg.Seed, 3000+uint64(spec.Origin)),
+			Target:  r.engines[spec.Origin],
+			Origin:  spec.Origin,
+			Period:  spec.Period,
+			StartAt: spec.StartAt,
+		}
+		b.Start()
+	}
+}
+
+func (r *run) armSampler() {
+	for i := range r.result.Nodes {
+		node := &r.result.Nodes[i]
+		node.QueueSeries = &stats.Series{}
+		if r.qma[i] != nil {
+			node.CumQ = &stats.Series{}
+			node.Rho = &stats.Series{}
+		}
+	}
+	var tick func()
+	tick = func() {
+		now := r.kernel.Now().Seconds()
+		for i, e := range r.engines {
+			node := &r.result.Nodes[i]
+			node.QueueSeries.Add(now, float64(e.Base().Queue().Len()))
+			if q := r.qma[i]; q != nil {
+				node.CumQ.Add(now, q.CumulativePolicyQ())
+				rho, _ := q.TakeRhoSample()
+				node.Rho.Add(now, rho)
+			}
+		}
+		r.kernel.Schedule(r.cfg.SamplePeriod, tick)
+	}
+	r.kernel.Schedule(r.cfg.SamplePeriod, tick)
+}
+
+// collect copies the end-of-run counters into the result.
+func (r *run) collect() {
+	for i, e := range r.engines {
+		node := &r.result.Nodes[i]
+		node.MAC = e.Base().Stats()
+		node.Radio = r.medium.Stats(frame.NodeID(i))
+		node.AvgQueueLevel = e.Base().AvgQueueLevel()
+		if q := r.qma[i]; q != nil {
+			node.Engine = q.EngineStats()
+			node.Policy = q.Learner().PolicySnapshot()
+			node.ActionCounts = q.ActionCounts()
+		}
+	}
+}

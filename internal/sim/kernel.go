@@ -1,0 +1,147 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events are created via Kernel.Schedule and
+// Kernel.At and may be cancelled before they fire. The zero value is inert.
+type Event struct {
+	at       Time
+	seq      uint64
+	index    int // heap index, -1 when not queued
+	canceled bool
+	fn       func()
+}
+
+// At reports the instant the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from firing. Cancelling an already fired or
+// already cancelled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel was called before the event fired.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// eventHeap orders events by (time, sequence). The sequence number makes the
+// ordering total and therefore the whole simulation deterministic: two events
+// scheduled for the same instant fire in scheduling order.
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *eventHeap) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Kernel is a sequential discrete event simulator. It is not safe for
+// concurrent use; replicated runs each own a private Kernel.
+type Kernel struct {
+	queue   eventHeap
+	now     Time
+	seq     uint64
+	stopped bool
+	// processed counts events that actually fired (cancelled events are
+	// excluded); exposed for benchmarks and sanity checks.
+	processed uint64
+}
+
+// NewKernel returns a kernel with the clock at zero and an empty queue.
+func NewKernel() *Kernel {
+	return &Kernel{queue: make(eventHeap, 0, 1024)}
+}
+
+// Now reports the current virtual time.
+func (k *Kernel) Now() Time { return k.now }
+
+// Pending reports the number of queued (possibly cancelled) events.
+func (k *Kernel) Pending() int { return len(k.queue) }
+
+// Processed reports how many events have fired so far.
+func (k *Kernel) Processed() uint64 { return k.processed }
+
+// Schedule enqueues fn to run after delay d (d must be >= 0) and returns a
+// cancellable handle.
+func (k *Kernel) Schedule(d Time, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %d", d))
+	}
+	return k.At(k.now+d, fn)
+}
+
+// At enqueues fn to run at absolute time t (t must not be in the past) and
+// returns a cancellable handle.
+func (k *Kernel) At(t Time, fn func()) *Event {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule into the past: now=%v at=%v", k.now, t))
+	}
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	k.seq++
+	ev := &Event{at: t, seq: k.seq, fn: fn, index: -1}
+	heap.Push(&k.queue, ev)
+	return ev
+}
+
+// Stop makes Run return after the currently executing event completes.
+func (k *Kernel) Stop() { k.stopped = true }
+
+// Run executes events in timestamp order until the queue is empty or the
+// next event lies strictly after `until`. The clock is left at the time of
+// the last executed event (or at `until` if nothing remained to execute
+// before it).
+func (k *Kernel) Run(until Time) {
+	k.stopped = false
+	for len(k.queue) > 0 && !k.stopped {
+		next := k.queue[0]
+		if next.at > until {
+			break
+		}
+		heap.Pop(&k.queue)
+		if next.canceled {
+			continue
+		}
+		k.now = next.at
+		k.processed++
+		next.fn()
+	}
+	if until != Never && k.now < until {
+		k.now = until
+	}
+}
+
+// RunAll executes every queued event regardless of timestamp. Intended for
+// tests; scenario code should bound runs with Run(until).
+func (k *Kernel) RunAll() { k.Run(Never) }

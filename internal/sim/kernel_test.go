@@ -1,0 +1,208 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestKernelRunsInTimestampOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	for _, d := range []Time{50, 10, 30, 20, 40} {
+		d := d
+		k.Schedule(d, func() { got = append(got, k.Now()) })
+	}
+	k.RunAll()
+	want := []Time{10, 20, 30, 40, 50}
+	if len(got) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event %d fired at %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestKernelSameInstantFIFO(t *testing.T) {
+	k := NewKernel()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		k.Schedule(100, func() { order = append(order, i) })
+	}
+	k.RunAll()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestKernelCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ev := k.Schedule(5, func() { fired = true })
+	ev.Cancel()
+	k.RunAll()
+	if fired {
+		t.Error("cancelled event fired")
+	}
+	if !ev.Canceled() {
+		t.Error("Canceled() = false after Cancel")
+	}
+	if k.Processed() != 0 {
+		t.Errorf("Processed() = %d, want 0", k.Processed())
+	}
+}
+
+func TestKernelCancelIsIdempotent(t *testing.T) {
+	k := NewKernel()
+	ev := k.Schedule(1, func() {})
+	ev.Cancel()
+	ev.Cancel()
+	var nilEv *Event
+	nilEv.Cancel() // must not panic
+	k.RunAll()
+}
+
+func TestKernelRunUntilBoundary(t *testing.T) {
+	k := NewKernel()
+	var fired []Time
+	k.Schedule(10, func() { fired = append(fired, 10) })
+	k.Schedule(20, func() { fired = append(fired, 20) })
+	k.Schedule(30, func() { fired = append(fired, 30) })
+	k.Run(20) // inclusive boundary
+	if len(fired) != 2 {
+		t.Fatalf("Run(20) fired %d events, want 2 (boundary inclusive)", len(fired))
+	}
+	if k.Now() != 20 {
+		t.Errorf("Now() = %v, want 20", k.Now())
+	}
+	k.Run(100)
+	if len(fired) != 3 {
+		t.Errorf("continuation run fired %d total events, want 3", len(fired))
+	}
+}
+
+func TestKernelClockAdvancesToUntil(t *testing.T) {
+	k := NewKernel()
+	k.Run(500)
+	if k.Now() != 500 {
+		t.Errorf("empty run: Now() = %v, want 500", k.Now())
+	}
+}
+
+func TestKernelEventsScheduleEvents(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 100 {
+			k.Schedule(7, tick)
+		}
+	}
+	k.Schedule(0, tick)
+	k.RunAll()
+	if count != 100 {
+		t.Errorf("chained ticks = %d, want 100", count)
+	}
+	if k.Now() != 99*7 {
+		t.Errorf("Now() = %v, want %v", k.Now(), Time(99*7))
+	}
+}
+
+func TestKernelStop(t *testing.T) {
+	k := NewKernel()
+	count := 0
+	for i := 0; i < 10; i++ {
+		k.Schedule(Time(i), func() {
+			count++
+			if count == 3 {
+				k.Stop()
+			}
+		})
+	}
+	k.Run(Never)
+	if count != 3 {
+		t.Errorf("Stop: fired %d, want 3", count)
+	}
+	// Run may be resumed afterwards.
+	k.Run(Never)
+	if count != 10 {
+		t.Errorf("resume after Stop: fired %d, want 10", count)
+	}
+}
+
+func TestKernelPanicsOnPastSchedule(t *testing.T) {
+	k := NewKernel()
+	k.Schedule(10, func() {})
+	k.RunAll()
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	k.At(5, func() {})
+}
+
+func TestKernelPanicsOnNegativeDelay(t *testing.T) {
+	k := NewKernel()
+	defer func() {
+		if recover() == nil {
+			t.Error("negative delay did not panic")
+		}
+	}()
+	k.Schedule(-1, func() {})
+}
+
+// Property: for any set of non-negative delays, events fire in sorted order
+// and the processed count equals the number of scheduled events.
+func TestKernelOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		k := NewKernel()
+		var fired []Time
+		for _, d := range delays {
+			k.Schedule(Time(d), func() { fired = append(fired, k.Now()) })
+		}
+		k.RunAll()
+		if len(fired) != len(delays) {
+			return false
+		}
+		for i := 1; i < len(fired); i++ {
+			if fired[i] < fired[i-1] {
+				return false
+			}
+		}
+		return k.Processed() == uint64(len(delays))
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{0, "0.000000s"},
+		{1500000, "1.500000s"},
+		{Never, "never"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", int64(c.in), got, c.want)
+		}
+	}
+}
+
+func TestFromSeconds(t *testing.T) {
+	if got := FromSeconds(1.5); got != 1500*Millisecond {
+		t.Errorf("FromSeconds(1.5) = %v", got)
+	}
+	if got := FromSeconds(0); got != 0 {
+		t.Errorf("FromSeconds(0) = %v", got)
+	}
+}

@@ -1,0 +1,152 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic PRNG (PCG32 with a SplitMix64-seeded
+// state). Every node and every traffic source owns an independent stream so
+// that adding instrumentation or reordering unrelated draws cannot perturb a
+// scenario. Rand is not safe for concurrent use.
+type Rand struct {
+	state uint64
+	inc   uint64
+}
+
+// splitMix64 scrambles a seed into a well-distributed 64-bit value.
+func splitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// NewRand returns a generator seeded from seed. Distinct seeds yield
+// independent-looking streams.
+func NewRand(seed uint64) *Rand {
+	return NewRandStream(seed, 0)
+}
+
+// NewRandStream returns the stream-th independent generator for seed. PCG
+// guarantees distinct increments select non-overlapping sequences.
+func NewRandStream(seed, stream uint64) *Rand {
+	r := &Rand{
+		inc: (splitMix64(stream+0x632be59bd9b4e019) << 1) | 1,
+	}
+	r.state = splitMix64(seed)
+	r.Uint32() // advance once so state depends on inc
+	r.state += splitMix64(seed + 0x9e3779b97f4a7c15)
+	r.Uint32()
+	return r
+}
+
+// Uint32 returns the next 32 uniformly distributed bits.
+func (r *Rand) Uint32() uint32 {
+	old := r.state
+	r.state = old*6364136223846793005 + r.inc
+	xorshifted := uint32(((old >> 18) ^ old) >> 27)
+	rot := uint32(old >> 59)
+	return (xorshifted >> rot) | (xorshifted << ((-rot) & 31))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Rand) Uint64() uint64 {
+	return uint64(r.Uint32())<<32 | uint64(r.Uint32())
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 random bits.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method, unbiased.
+	bound := uint32(n)
+	threshold := -bound % bound
+	for {
+		x := r.Uint32()
+		m := uint64(x) * uint64(bound)
+		if uint32(m) >= threshold {
+			return int(m >> 32)
+		}
+	}
+}
+
+// IntRange returns a uniform value in [lo, hi] inclusive. It panics if
+// hi < lo.
+func (r *Rand) IntRange(lo, hi int) int {
+	if hi < lo {
+		panic("sim: IntRange with hi < lo")
+	}
+	return lo + r.Intn(hi-lo+1)
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// Used for Poisson inter-arrival times.
+func (r *Rand) Exp(mean float64) float64 {
+	u := r.Float64()
+	for u == 0 {
+		u = r.Float64()
+	}
+	return -mean * math.Log(u)
+}
+
+// ExpTime returns an exponentially distributed duration with the given mean
+// duration, never shorter than one microsecond.
+func (r *Rand) ExpTime(mean Time) Time {
+	d := Time(r.Exp(float64(mean)))
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
+// Normal returns a normally distributed value via the polar Box–Muller
+// transform.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Poisson returns a Poisson-distributed count with the given mean, using
+// inversion for small means and normal approximation for large ones.
+func (r *Rand) Poisson(mean float64) int {
+	if mean <= 0 {
+		return 0
+	}
+	if mean > 60 {
+		n := int(r.Normal(mean, math.Sqrt(mean)) + 0.5)
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	l := math.Exp(-mean)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Shuffle permutes the first n indices using swap, Fisher–Yates style.
+func (r *Rand) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Bool returns true with probability p.
+func (r *Rand) Bool(p float64) bool { return r.Float64() < p }

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different sequences")
+		}
+	}
+}
+
+func TestRandStreamsDiffer(t *testing.T) {
+	a := NewRandStream(42, 0)
+	b := NewRandStream(42, 1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("streams 0 and 1 collided on %d/1000 draws", same)
+	}
+}
+
+func TestRandSeedsDiffer(t *testing.T) {
+	a := NewRand(1)
+	b := NewRand(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint32() == b.Uint32() {
+			same++
+		}
+	}
+	if same > 5 {
+		t.Errorf("seeds 1 and 2 collided on %d/1000 draws", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRand(7)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRand(3)
+	seen := make(map[int]int)
+	for i := 0; i < 60000; i++ {
+		v := r.Intn(6)
+		if v < 0 || v >= 6 {
+			t.Fatalf("Intn(6) = %d", v)
+		}
+		seen[v]++
+	}
+	for v := 0; v < 6; v++ {
+		if seen[v] < 8500 || seen[v] > 11500 {
+			t.Errorf("Intn(6) value %d appeared %d/60000 times, want ~10000", v, seen[v])
+		}
+	}
+}
+
+func TestIntnPanics(t *testing.T) {
+	r := NewRand(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestIntRange(t *testing.T) {
+	r := NewRand(5)
+	for i := 0; i < 10000; i++ {
+		v := r.IntRange(3, 9)
+		if v < 3 || v > 9 {
+			t.Fatalf("IntRange(3,9) = %d", v)
+		}
+	}
+	// Degenerate single-value range.
+	for i := 0; i < 10; i++ {
+		if v := r.IntRange(4, 4); v != 4 {
+			t.Fatalf("IntRange(4,4) = %d", v)
+		}
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	r := NewRand(13)
+	const n = 200000
+	const mean = 40.0
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(mean)
+	}
+	got := sum / n
+	if math.Abs(got-mean)/mean > 0.02 {
+		t.Errorf("Exp mean = %v, want ~%v", got, mean)
+	}
+}
+
+func TestExpTimeMinimum(t *testing.T) {
+	r := NewRand(17)
+	for i := 0; i < 1000; i++ {
+		if d := r.ExpTime(2); d < 1 {
+			t.Fatalf("ExpTime returned %v < 1µs", d)
+		}
+	}
+}
+
+func TestPoissonMean(t *testing.T) {
+	r := NewRand(19)
+	for _, mean := range []float64{0.5, 3, 25, 100} {
+		const n = 50000
+		sum := 0
+		for i := 0; i < n; i++ {
+			sum += r.Poisson(mean)
+		}
+		got := float64(sum) / n
+		if math.Abs(got-mean)/mean > 0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, got)
+		}
+	}
+	if r.Poisson(0) != 0 || r.Poisson(-1) != 0 {
+		t.Error("Poisson of non-positive mean should be 0")
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRand(23)
+	const n = 200000
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Errorf("Normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(variance-9) > 0.3 {
+		t.Errorf("Normal variance = %v, want ~9", variance)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := NewRand(29)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	p := float64(hits) / n
+	if math.Abs(p-0.3) > 0.01 {
+		t.Errorf("Bool(0.3) frequency = %v", p)
+	}
+	if r.Bool(0) {
+		t.Error("Bool(0) returned true")
+	}
+}
+
+func TestShuffleIsPermutation(t *testing.T) {
+	prop := func(seed uint64, size uint8) bool {
+		n := int(size%50) + 1
+		r := NewRand(seed)
+		vals := make([]int, n)
+		for i := range vals {
+			vals[i] = i
+		}
+		r.Shuffle(n, func(i, j int) { vals[i], vals[j] = vals[j], vals[i] })
+		seen := make([]bool, n)
+		for _, v := range vals {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Intn is always within bounds for arbitrary positive n.
+func TestIntnProperty(t *testing.T) {
+	prop := func(seed uint64, n uint16) bool {
+		bound := int(n%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

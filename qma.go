@@ -1,0 +1,444 @@
+// Package qma is a library implementation of QMA, the Q-learning-based
+// multiple access scheme for the industrial IoT of Meyer & Turau (ICDCS
+// 2021, arXiv:2101.04003), together with everything needed to reproduce the
+// paper's evaluation: a deterministic discrete event simulator, an IEEE
+// 802.15.4 DSME superframe/GTS substrate, slotted and unslotted CSMA/CA
+// baselines, the paper's topologies and traffic models, and an experiment
+// harness that regenerates every figure of the paper.
+//
+// Two levels of API are exposed:
+//
+//   - Scenario-level: describe a network, a channel access scheme and
+//     traffic, call Scenario.Run, and read packet delivery ratios, delays,
+//     queue levels and learned policies (see examples/quickstart).
+//
+//   - Learner-level: the cooperative multi-agent Q-learning core (Learner)
+//     with the paper's Eq. 5 update rule, policy table and exploration
+//     strategies, for embedding into other systems (see examples/learner).
+//
+// All randomness derives from explicit seeds; every run is bit-for-bit
+// reproducible.
+package qma
+
+import (
+	"errors"
+	"fmt"
+
+	"qma/internal/frame"
+	"qma/internal/qlearn"
+	"qma/internal/radio"
+	"qma/internal/scenario"
+	"qma/internal/sim"
+	"qma/internal/stats"
+	"qma/internal/topo"
+	"qma/internal/traffic"
+)
+
+// MAC selects a channel access scheme.
+type MAC int
+
+const (
+	// QMA is the paper's Q-learning MAC.
+	QMA MAC = iota
+	// CSMAUnslotted is unslotted IEEE 802.15.4 CSMA/CA.
+	CSMAUnslotted
+	// CSMASlotted is slotted IEEE 802.15.4 CSMA/CA (CW=2).
+	CSMASlotted
+)
+
+// String implements fmt.Stringer.
+func (m MAC) String() string { return m.kind().String() }
+
+func (m MAC) kind() scenario.MACKind {
+	switch m {
+	case CSMAUnslotted:
+		return scenario.CSMAUnslotted
+	case CSMASlotted:
+		return scenario.CSMASlotted
+	default:
+		return scenario.QMA
+	}
+}
+
+// TableKind selects the Q-value representation for QMA nodes.
+type TableKind int
+
+const (
+	// TableFloat is the float64 reference table.
+	TableFloat TableKind = iota
+	// TableFixed is the Q8.8 integer table for devices without an FPU
+	// (paper §3.2).
+	TableFixed
+	// TableQuant is the saturating 8-bit table (paper §7 future work).
+	TableQuant
+)
+
+// LearnParams are the Q-learning hyperparameters (paper Eq. 5). The zero
+// value selects the paper's α=0.5, γ=0.9, ξ=2, Q₀=−10.
+type LearnParams struct {
+	// Alpha is the learning rate α.
+	Alpha float64
+	// Gamma is the discount factor γ.
+	Gamma float64
+	// Xi is the stochastic-environment penalty ξ.
+	Xi float64
+	// InitQ is the initial Q-value (must undercut the largest punishment).
+	InitQ float64
+}
+
+func (p LearnParams) internal() qlearn.Params {
+	if p == (LearnParams{}) {
+		return qlearn.DefaultParams()
+	}
+	return qlearn.Params{Alpha: p.Alpha, Gamma: p.Gamma, Xi: p.Xi, InitQ: p.InitQ, Rule: qlearn.RuleQMA}
+}
+
+// Explorer selects an exploration strategy (paper §4.2).
+type Explorer struct {
+	// Kind is "parameter" (default, the paper's queue-difference table),
+	// "epsilon" (decaying ε-greedy) or "constant".
+	Kind string
+	// Eps0 is the initial ε for "epsilon" or the fixed rate for "constant".
+	Eps0 float64
+	// HalfLifeSeconds is ε's half-life for "epsilon" (0 = no decay).
+	HalfLifeSeconds float64
+	// Min is the ε floor for "epsilon".
+	Min float64
+}
+
+func (e *Explorer) internal() (qlearn.Explorer, error) {
+	if e == nil {
+		return nil, nil // engine default: parameter-based
+	}
+	switch e.Kind {
+	case "", "parameter":
+		return qlearn.NewParameterBased(), nil
+	case "epsilon":
+		return &qlearn.EpsilonGreedy{Eps0: e.Eps0, HalfLife: sim.FromSeconds(e.HalfLifeSeconds), Min: e.Min}, nil
+	case "constant":
+		return qlearn.Constant{Eps: e.Eps0}, nil
+	default:
+		return nil, fmt.Errorf("qma: unknown explorer kind %q", e.Kind)
+	}
+}
+
+// Phase is one segment of a cyclic traffic-rate schedule.
+type Phase struct {
+	// Rate is the Poisson packet generation rate in packets/second.
+	Rate float64
+	// Seconds is the phase duration (0 = forever).
+	Seconds float64
+}
+
+// Traffic attaches a Poisson data source to a node; packets travel to the
+// topology's sink along its routing tree.
+type Traffic struct {
+	// Origin is the generating node id.
+	Origin int
+	// Phases is the cyclic rate schedule.
+	Phases []Phase
+	// StartSeconds delays generation.
+	StartSeconds float64
+	// MaxPackets bounds generation (0 = unbounded).
+	MaxPackets int
+	// Management marks the source as background traffic excluded from PDR
+	// and delay statistics.
+	Management bool
+	// FrameBytes overrides the default 80-byte MPDU.
+	FrameBytes int
+}
+
+// Broadcast attaches a periodic one-hop broadcast source (e.g. route
+// discovery hellos).
+type Broadcast struct {
+	// Origin is the broadcasting node id.
+	Origin int
+	// PeriodSeconds is the mean interval.
+	PeriodSeconds float64
+	// StartSeconds delays the first broadcast.
+	StartSeconds float64
+}
+
+// Scenario describes one contention-MAC simulation (the paper's §6.1/§6.2
+// setups). The zero value is not runnable: Topology, DurationSeconds and at
+// least one Traffic entry are required.
+type Scenario struct {
+	// Topology is the network under test.
+	Topology *Topology
+	// MAC selects the channel access scheme.
+	MAC MAC
+	// Learn tunes QMA's Q-learning (zero value = paper defaults).
+	Learn LearnParams
+	// Table selects QMA's Q-value representation.
+	Table TableKind
+	// Explorer overrides the exploration strategy (nil = parameter-based).
+	Explorer *Explorer
+	// StartupSubslots is the cautious-startup window Δ (0 = default,
+	// negative = disabled).
+	StartupSubslots int
+	// Seed selects the random streams; vary it across replications.
+	Seed uint64
+	// DurationSeconds is the simulated time.
+	DurationSeconds float64
+	// Traffic and Broadcasts define the offered load.
+	Traffic    []Traffic
+	Broadcasts []Broadcast
+	// SampleSeries enables per-superframe sampling of cumulative Q-values,
+	// exploration rates and queue levels.
+	SampleSeries bool
+	// MeasureFromSeconds restarts queue averaging at this instant.
+	MeasureFromSeconds float64
+}
+
+// Point is one time series sample (seconds, value).
+type Point struct{ T, V float64 }
+
+// NodeResult reports one node's metrics after a run.
+type NodeResult struct {
+	// ID is the node id, Label the topology's display name for it.
+	ID    int
+	Label string
+	// Generated and Delivered count this origin's evaluation packets;
+	// PDR is their ratio and MeanDelaySeconds the mean end-to-end delay.
+	Generated, Delivered uint64
+	PDR                  float64
+	MeanDelaySeconds     float64
+	// AvgQueueLevel is the time-averaged transmit queue occupancy.
+	AvgQueueLevel float64
+	// TxAttempts, TxSuccess, TxFail, RetryDrops and QueueDrops are MAC
+	// counters.
+	TxAttempts, TxSuccess, TxFail, RetryDrops, QueueDrops uint64
+	// Policy is the final per-subslot policy for QMA nodes ("." = QBackoff,
+	// "C" = QCCA, "S" = QSend); empty for CSMA nodes.
+	Policy string
+	// CumulativeQ, ExplorationRate and QueueLevel are sampled series when
+	// SampleSeries was set (QMA nodes only for the first two).
+	CumulativeQ, ExplorationRate, QueueLevel []Point
+}
+
+// Result reports a completed run.
+type Result struct {
+	// Nodes holds one entry per node id.
+	Nodes []NodeResult
+	// NetworkPDR is total delivered / total generated evaluation packets.
+	NetworkPDR float64
+	// MeanDelaySeconds is the mean end-to-end delay across all deliveries.
+	MeanDelaySeconds float64
+}
+
+// Validate reports the first configuration problem, or nil.
+func (s *Scenario) Validate() error {
+	switch {
+	case s.Topology == nil:
+		return errors.New("qma: Scenario.Topology is required")
+	case s.DurationSeconds <= 0:
+		return errors.New("qma: Scenario.DurationSeconds must be positive")
+	case s.MAC < QMA || s.MAC > CSMASlotted:
+		return fmt.Errorf("qma: unknown MAC %d", s.MAC)
+	}
+	n := s.Topology.net.NumNodes()
+	for _, tr := range s.Traffic {
+		if tr.Origin < 0 || tr.Origin >= n {
+			return fmt.Errorf("qma: traffic origin %d out of range [0,%d)", tr.Origin, n)
+		}
+		if len(tr.Phases) == 0 {
+			return fmt.Errorf("qma: traffic at node %d has no phases", tr.Origin)
+		}
+		if tr.Origin == int(s.Topology.net.Sink) {
+			return fmt.Errorf("qma: traffic origin %d is the sink", tr.Origin)
+		}
+	}
+	for _, b := range s.Broadcasts {
+		if b.Origin < 0 || b.Origin >= n {
+			return fmt.Errorf("qma: broadcast origin %d out of range [0,%d)", b.Origin, n)
+		}
+		if b.PeriodSeconds <= 0 {
+			return fmt.Errorf("qma: broadcast at node %d needs a positive period", b.Origin)
+		}
+	}
+	if _, err := s.Explorer.internal(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Run executes the scenario and returns its metrics.
+func (s *Scenario) Run() (*Result, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	explorer, _ := s.Explorer.internal()
+	cfg := scenario.Config{
+		Network: s.Topology.net,
+		MAC:     s.MAC.kind(),
+		QMA: scenario.QMAOptions{
+			Learn:           s.Learn.internal(),
+			Table:           scenario.TableKind(s.Table),
+			Explorer:        explorer,
+			StartupSubslots: s.StartupSubslots,
+		},
+		Seed:        s.Seed,
+		Duration:    sim.FromSeconds(s.DurationSeconds),
+		MeasureFrom: sim.FromSeconds(s.MeasureFromSeconds),
+	}
+	if s.SampleSeries {
+		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe
+	}
+	for _, tr := range s.Traffic {
+		spec := scenario.TrafficSpec{
+			Origin:     frame.NodeID(tr.Origin),
+			StartAt:    sim.FromSeconds(tr.StartSeconds),
+			MaxPackets: tr.MaxPackets,
+			MPDUBytes:  tr.FrameBytes,
+		}
+		if tr.Management {
+			spec.Tag = frame.TagManagement
+		}
+		for _, p := range tr.Phases {
+			spec.Phases = append(spec.Phases, traffic.Phase{Rate: p.Rate, Duration: sim.FromSeconds(p.Seconds)})
+		}
+		cfg.Traffic = append(cfg.Traffic, spec)
+	}
+	for _, b := range s.Broadcasts {
+		cfg.Broadcasts = append(cfg.Broadcasts, scenario.BroadcastSpec{
+			Origin:  frame.NodeID(b.Origin),
+			Period:  sim.FromSeconds(b.PeriodSeconds),
+			StartAt: sim.FromSeconds(b.StartSeconds),
+		})
+	}
+	res := scenario.Run(cfg)
+
+	out := &Result{
+		NetworkPDR:       res.NetworkPDR(),
+		MeanDelaySeconds: res.MeanDelay(),
+	}
+	for i := range res.Nodes {
+		n := &res.Nodes[i]
+		nr := NodeResult{
+			ID:               int(n.ID),
+			Label:            n.Label,
+			Generated:        n.Generated,
+			Delivered:        n.Delivered,
+			PDR:              n.PDR(),
+			MeanDelaySeconds: n.MeanDelay(),
+			AvgQueueLevel:    n.AvgQueueLevel,
+			TxAttempts:       n.MAC.TxAttempts,
+			TxSuccess:        n.MAC.TxSuccess,
+			TxFail:           n.MAC.TxFail,
+			RetryDrops:       n.MAC.RetryDrops,
+			QueueDrops:       n.MAC.QueueDrops,
+			Policy:           policyString(n.Policy),
+			CumulativeQ:      points(n.CumQ),
+			ExplorationRate:  points(n.Rho),
+			QueueLevel:       points(n.QueueSeries),
+		}
+		out.Nodes = append(out.Nodes, nr)
+	}
+	return out, nil
+}
+
+func policyString(policy []int) string {
+	if policy == nil {
+		return ""
+	}
+	b := make([]byte, len(policy))
+	for i, a := range policy {
+		switch a {
+		case 1:
+			b[i] = 'C'
+		case 2:
+			b[i] = 'S'
+		default:
+			b[i] = '.'
+		}
+	}
+	return string(b)
+}
+
+func points(s *stats.Series) []Point {
+	if s == nil {
+		return nil
+	}
+	out := make([]Point, s.Len())
+	for i := range out {
+		p := s.At(i)
+		out[i] = Point{T: p.T, V: p.V}
+	}
+	return out
+}
+
+// Topology is a network with routing towards a sink.
+type Topology struct {
+	net *topo.Network
+}
+
+// NumNodes reports the node count.
+func (t *Topology) NumNodes() int { return t.net.NumNodes() }
+
+// Sink reports the data-collection root.
+func (t *Topology) Sink() int { return int(t.net.Sink) }
+
+// Label reports the display name of a node.
+func (t *Topology) Label(id int) string { return t.net.Label(frame.NodeID(id)) }
+
+// HiddenNode returns the paper's Fig. 6 scenario: A(0) and C(2) both reach
+// the sink B(1) but not each other.
+func HiddenNode() *Topology { return &Topology{net: topo.HiddenNode()} }
+
+// Tree10 returns the 10-node testbed tree of Fig. 16.
+func Tree10() *Topology { return &Topology{net: topo.Tree10()} }
+
+// Star17 returns the 17-node testbed star of Fig. 17, built on a
+// log-distance path-loss channel.
+func Star17() *Topology { return &Topology{net: topo.Star17(topo.StarConfig{})} }
+
+// Rings returns the concentric data-collection topology of Fig. 20 with the
+// given number of hexagonal rings (1→7, 2→19, 3→43, 4→91 nodes).
+func Rings(rings int) (*Topology, error) {
+	if rings < 1 || rings > 8 {
+		return nil, fmt.Errorf("qma: rings=%d out of range [1,8]", rings)
+	}
+	return &Topology{net: topo.Rings(rings)}, nil
+}
+
+// NewTopology builds a custom topology: n nodes, bidirectional links, a sink
+// and a routing parent per node (-1 for the sink and detached nodes).
+func NewTopology(n int, links [][2]int, sink int, parents []int) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("qma: n=%d must be positive", n)
+	}
+	if sink < 0 || sink >= n {
+		return nil, fmt.Errorf("qma: sink %d out of range [0,%d)", sink, n)
+	}
+	if len(parents) != n {
+		return nil, fmt.Errorf("qma: got %d parents, want %d", len(parents), n)
+	}
+	g := topoGraph(n, links)
+	if g == nil {
+		return nil, errors.New("qma: link endpoint out of range")
+	}
+	ps := make([]frame.NodeID, n)
+	for i, p := range parents {
+		if p >= n {
+			return nil, fmt.Errorf("qma: parent %d out of range", p)
+		}
+		ps[i] = frame.NodeID(p)
+	}
+	return &Topology{net: &topo.Network{
+		Name:     "custom",
+		Topology: g,
+		Sink:     frame.NodeID(sink),
+		Parent:   ps,
+	}}, nil
+}
+
+func topoGraph(n int, links [][2]int) *radio.GraphTopology {
+	g := radio.NewGraphTopology(n)
+	for _, l := range links {
+		if l[0] < 0 || l[0] >= n || l[1] < 0 || l[1] >= n {
+			return nil
+		}
+		g.AddLink(frame.NodeID(l[0]), frame.NodeID(l[1]))
+	}
+	return g
+}

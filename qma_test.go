@@ -1,0 +1,237 @@
+package qma_test
+
+import (
+	"math"
+	"testing"
+
+	"qma"
+)
+
+func TestScenarioValidation(t *testing.T) {
+	cases := map[string]*qma.Scenario{
+		"no topology": {DurationSeconds: 10},
+		"no duration": {Topology: qma.HiddenNode()},
+		"bad mac":     {Topology: qma.HiddenNode(), DurationSeconds: 10, MAC: qma.MAC(9)},
+		"bad origin": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			Traffic: []qma.Traffic{{Origin: 7, Phases: []qma.Phase{{Rate: 1}}}}},
+		"sink origin": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			Traffic: []qma.Traffic{{Origin: 1, Phases: []qma.Phase{{Rate: 1}}}}},
+		"no phases": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			Traffic: []qma.Traffic{{Origin: 0}}},
+		"bad explorer": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			Explorer: &qma.Explorer{Kind: "nope"}},
+		"bad broadcast": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			Broadcasts: []qma.Broadcast{{Origin: 0, PeriodSeconds: 0}}},
+	}
+	for name, sc := range cases {
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a bad scenario", name)
+		}
+		if _, err := sc.Run(); err == nil {
+			t.Errorf("%s: Run accepted a bad scenario", name)
+		}
+	}
+}
+
+func TestPublicScenarioEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	sc := &qma.Scenario{
+		Topology:        qma.HiddenNode(),
+		MAC:             qma.QMA,
+		Seed:            1,
+		DurationSeconds: 120,
+		Traffic: []qma.Traffic{
+			{Origin: 0, Phases: []qma.Phase{{Rate: 10}}, StartSeconds: 5, MaxPackets: 500},
+			{Origin: 2, Phases: []qma.Phase{{Rate: 10}}, StartSeconds: 5, MaxPackets: 500},
+		},
+		SampleSeries: true,
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NetworkPDR < 0.9 {
+		t.Errorf("PDR = %.3f, want >= 0.9", res.NetworkPDR)
+	}
+	a := res.Nodes[0]
+	if a.Label != "A" || a.Generated == 0 || a.PDR <= 0 {
+		t.Errorf("node A result incomplete: %+v", a)
+	}
+	if len(a.Policy) != 54 {
+		t.Errorf("policy length = %d, want 54 subslots", len(a.Policy))
+	}
+	if len(a.CumulativeQ) == 0 || len(a.ExplorationRate) == 0 || len(a.QueueLevel) == 0 {
+		t.Error("series missing despite SampleSeries")
+	}
+	// Determinism through the public API.
+	res2, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.NetworkPDR != res.NetworkPDR || res2.MeanDelaySeconds != res.MeanDelaySeconds {
+		t.Error("identical scenarios produced different results")
+	}
+}
+
+func TestPublicScenarioCSMAAndTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	base := qma.Scenario{
+		Topology:        qma.HiddenNode(),
+		Seed:            2,
+		DurationSeconds: 80,
+		Traffic: []qma.Traffic{
+			{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 2},
+			{Origin: 2, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 2},
+		},
+	}
+	for _, mk := range []qma.MAC{qma.CSMAUnslotted, qma.CSMASlotted} {
+		sc := base
+		sc.MAC = mk
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%v: %v", mk, err)
+		}
+		if res.NetworkPDR < 0.8 {
+			t.Errorf("%v: PDR = %.3f at low load", mk, res.NetworkPDR)
+		}
+		if res.Nodes[0].Policy != "" {
+			t.Errorf("%v: CSMA node has a QMA policy", mk)
+		}
+	}
+	for _, tk := range []qma.TableKind{qma.TableFixed, qma.TableQuant} {
+		sc := base
+		sc.MAC = qma.QMA
+		sc.Table = tk
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("table %d: %v", tk, err)
+		}
+		if res.NetworkPDR < 0.8 {
+			t.Errorf("table %d: PDR = %.3f, the integer tables should work too", tk, res.NetworkPDR)
+		}
+	}
+}
+
+func TestPublicDSMEScenario(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	rings, err := qma.Rings(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := (&qma.DSMEScenario{
+		Topology:        rings,
+		MAC:             qma.QMA,
+		Seed:            1,
+		DurationSeconds: 250,
+		WarmupSeconds:   100,
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SecondaryPDR <= 0 || res.SecondaryPDR > 1.1 {
+		t.Errorf("secondary PDR = %.3f out of range", res.SecondaryPDR)
+	}
+	if res.PrimaryPDR <= 0.3 {
+		t.Errorf("primary PDR = %.3f, want > 0.3", res.PrimaryPDR)
+	}
+	owned := 0
+	for _, s := range res.SlotsOwned {
+		owned += s
+	}
+	if owned == 0 {
+		t.Error("no GTS owned at the end of the run")
+	}
+	// Validation errors.
+	if _, err := (&qma.DSMEScenario{}).Run(); err == nil {
+		t.Error("empty DSME scenario accepted")
+	}
+	if _, err := (&qma.DSMEScenario{Topology: rings, DurationSeconds: 10, WarmupSeconds: 20}).Run(); err == nil {
+		t.Error("warmup >= duration accepted")
+	}
+}
+
+func TestPublicLearner(t *testing.T) {
+	l, err := qma.NewLearner(4, 3, qma.LearnParams{Alpha: 1, Gamma: 1, Xi: 2, InitQ: -10}, qma.TableFloat, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.States() != 4 || l.Actions() != 3 {
+		t.Fatal("dimensions wrong")
+	}
+	// The Fig. 5 first update: QSend success in subslot 0.
+	if got := l.Observe(0, 2, 4, 1); got != -6 {
+		t.Errorf("Observe = %v, want -6", got)
+	}
+	if l.Policy(0) != 2 {
+		t.Errorf("policy = %d, want QSend", l.Policy(0))
+	}
+	if l.Q(0, 2) != -6 {
+		t.Errorf("Q = %v", l.Q(0, 2))
+	}
+	l.Reset(1)
+	if l.Policy(0) != 1 || l.Q(0, 2) != -10 {
+		t.Error("Reset failed")
+	}
+	// Constructor validation.
+	if _, err := qma.NewLearner(0, 3, qma.LearnParams{}, qma.TableFloat, 0); err == nil {
+		t.Error("accepted zero states")
+	}
+	if _, err := qma.NewLearner(2, 3, qma.LearnParams{}, qma.TableKind(9), 0); err == nil {
+		t.Error("accepted unknown table kind")
+	}
+	if _, err := qma.NewLearner(2, 3, qma.LearnParams{}, qma.TableFloat, 5); err == nil {
+		t.Error("accepted out-of-range default action")
+	}
+}
+
+func TestPublicExplorationRate(t *testing.T) {
+	if got := qma.ExplorationRate(8, 0); got != 0.3 {
+		t.Errorf("rho(8,0) = %v, want 0.3", got)
+	}
+	if got := qma.ExplorationRate(2, 5); got != 0 {
+		t.Errorf("rho(2,5) = %v, want 0", got)
+	}
+}
+
+func TestPublicHandshakeExpectation(t *testing.T) {
+	v, err := qma.ExpectedHandshakeMessages(1)
+	if err != nil || math.Abs(v-3) > 1e-9 {
+		t.Errorf("E[p=1] = %v/%v, want 3", v, err)
+	}
+	if _, err := qma.ExpectedHandshakeMessages(1.5); err == nil {
+		t.Error("accepted p > 1")
+	}
+}
+
+func TestTopologyConstructors(t *testing.T) {
+	if qma.HiddenNode().NumNodes() != 3 || qma.Tree10().NumNodes() != 10 || qma.Star17().NumNodes() != 17 {
+		t.Error("built-in topology sizes wrong")
+	}
+	r, err := qma.Rings(4)
+	if err != nil || r.NumNodes() != 91 {
+		t.Errorf("Rings(4) = %d nodes / %v", r.NumNodes(), err)
+	}
+	if _, err := qma.Rings(0); err == nil {
+		t.Error("Rings(0) accepted")
+	}
+	custom, err := qma.NewTopology(3, [][2]int{{0, 1}, {1, 2}}, 1, []int{1, -1, 1})
+	if err != nil || custom.NumNodes() != 3 || custom.Sink() != 1 {
+		t.Errorf("custom topology: %v", err)
+	}
+	for name, build := range map[string]func() error{
+		"bad sink":    func() error { _, e := qma.NewTopology(3, nil, 5, []int{-1, -1, -1}); return e },
+		"bad parents": func() error { _, e := qma.NewTopology(3, nil, 0, []int{-1}); return e },
+		"bad link":    func() error { _, e := qma.NewTopology(3, [][2]int{{0, 9}}, 0, []int{-1, 0, 0}); return e },
+		"bad n":       func() error { _, e := qma.NewTopology(0, nil, 0, nil); return e },
+	} {
+		if build() == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
