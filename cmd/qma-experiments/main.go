@@ -13,7 +13,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"runtime"
 	"time"
 
 	"qma/internal/experiments"
@@ -24,6 +23,7 @@ func main() {
 	run := flag.String("run", "", "run a single experiment id (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	reps := flag.Int("reps", 0, "override the number of replications")
+	parallel := flag.Int("parallel", 0, "worker pool size for replications and sweep points (0 = all CPUs, 1 = sequential)")
 	flag.Parse()
 
 	if *list {
@@ -40,7 +40,7 @@ func main() {
 	if *reps > 0 {
 		mode.Reps = *reps
 	}
-	mode.Parallel = runtime.NumCPU()
+	mode.Parallel = *parallel
 
 	start := time.Now()
 	if *run != "" {

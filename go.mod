@@ -1,0 +1,3 @@
+module qma
+
+go 1.24

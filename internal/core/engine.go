@@ -73,7 +73,7 @@ type Engine struct {
 	startupLeft   int
 	startupPunish bool
 
-	armed    *sim.Event
+	armed    sim.EventID
 	pend     *pending
 	overhear bool
 
@@ -194,7 +194,7 @@ func (e *Engine) ResetActionCounts() {
 
 // arm schedules the next subslot tick unless one is already scheduled.
 func (e *Engine) arm() {
-	if e.armed != nil && !e.armed.Canceled() && e.armed.At() > e.base.Kernel().Now() {
+	if e.armed.Pending() && e.armed.At() > e.base.Kernel().Now() {
 		return
 	}
 	next := e.base.Clock().NextSubslotStart(e.base.Kernel().Now())

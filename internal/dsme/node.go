@@ -51,6 +51,9 @@ type NodeConfig struct {
 	NeighborExpiry sim.Time
 	// Metrics aggregates network-wide counters; required.
 	Metrics *Metrics
+	// FramePool, when non-nil, recycles the node's immediate GTS ACKs. It
+	// may be shared with the CAP engines of the same kernel.
+	FramePool *frame.Pool
 }
 
 // NodeStats are per-node DSME counters.
@@ -77,14 +80,14 @@ type handshake struct {
 	id         uint32
 	gts        superframe.GTS
 	deallocate bool
-	timer      *sim.Event
+	timer      sim.EventID
 }
 
 // responderPending is the responder-side state awaiting a notify.
 type responderPending struct {
 	gts       superframe.GTS
 	requester frame.NodeID
-	timer     *sim.Event
+	timer     sim.EventID
 }
 
 // gtsAckWait tracks an outstanding GTS data acknowledgement.
@@ -93,7 +96,7 @@ type gtsAckWait struct {
 	seq   uint32
 	frame *frame.Frame
 	gts   superframe.GTS
-	timer *sim.Event
+	timer sim.EventID
 }
 
 // Node is one DSME device: it owns the primary (GTS) data path and drives
@@ -105,7 +108,7 @@ type Node struct {
 	cap mac.Engine
 
 	slots      *SlotMap
-	slotEvents map[int]*sim.Event
+	slotEvents map[int]sim.EventID
 
 	primary *frame.Queue
 	seq     uint32
@@ -123,6 +126,12 @@ type Node struct {
 	// (e.g. it rolled the slot back after a duplicate detection) and the
 	// slot is returned.
 	slotFails map[int]int
+
+	// ackStartFn/ackDoneFn are long-lived callbacks for the GTS immediate-ACK
+	// path, scheduled via Kernel.AtCall so acknowledging costs no closure
+	// allocations (mirrors mac.Base's CAP ACK path).
+	ackStartFn func(any)
+	ackDoneFn  func(any)
 
 	stats NodeStats
 }
@@ -160,16 +169,19 @@ func NewNode(cfg NodeConfig) *Node {
 	if cfg.NeighborExpiry <= 0 {
 		cfg.NeighborExpiry = 64 * sf.SuperframeDuration()
 	}
-	return &Node{
+	n := &Node{
 		cfg:        cfg,
 		slots:      NewSlotMap(sf),
-		slotEvents: make(map[int]*sim.Event),
+		slotEvents: make(map[int]sim.EventID),
 		primary:    frame.NewQueue(cfg.PrimaryQueueCap),
 		pending:    make(map[uint32]*responderPending),
 		slotFails:  make(map[int]int),
 		lastSeq:    make(map[frame.NodeID]uint32),
 		hasSeq:     make(map[frame.NodeID]bool),
 	}
+	n.ackStartFn = func(a any) { n.transmitGTSAck(a.(*frame.Frame)) }
+	n.ackDoneFn = func(a any) { n.cfg.FramePool.Put(a.(*frame.Frame)) }
+	return n
 }
 
 // CommandHook returns the OnCommand callback to install into the CAP
@@ -290,30 +302,33 @@ func (n *Node) isDuplicate(f *frame.Frame) bool {
 }
 
 func (n *Node) ackGTSData(f *frame.Frame) {
-	ack := &frame.Frame{
-		Kind:      frame.Ack,
-		Src:       n.cfg.ID,
-		Dst:       f.Src,
-		Origin:    n.cfg.ID,
-		Sink:      f.Src,
-		Seq:       f.Seq,
-		MPDUBytes: frame.AckMPDUBytes,
-		Channel:   f.Channel,
+	ack := n.cfg.FramePool.Get()
+	ack.Kind = frame.Ack
+	ack.Src = n.cfg.ID
+	ack.Dst = f.Src
+	ack.Origin = n.cfg.ID
+	ack.Sink = f.Src
+	ack.Seq = f.Seq
+	ack.MPDUBytes = frame.AckMPDUBytes
+	ack.Channel = f.Channel
+	n.cfg.Kernel.AtCall(n.cfg.Kernel.Now()+frame.TurnaroundTime, n.ackStartFn, ack)
+}
+
+// transmitGTSAck puts a prepared GTS ACK on the air and arranges its return
+// to the frame pool once the transmission (and delivery) has ended.
+func (n *Node) transmitGTSAck(ack *frame.Frame) {
+	if n.cfg.Medium.Transmitting(n.cfg.ID) {
+		n.cfg.FramePool.Put(ack)
+		return
 	}
-	n.cfg.Kernel.Schedule(frame.TurnaroundTime, func() {
-		if n.cfg.Medium.Transmitting(n.cfg.ID) {
-			return
-		}
-		n.cfg.Medium.StartTX(n.cfg.ID, ack)
-	})
+	txEnd := n.cfg.Medium.StartTX(n.cfg.ID, ack)
+	n.cfg.Kernel.AtCall(txEnd, n.ackDoneFn, ack)
 }
 
 // armSlot schedules the next occurrence of an owned slot.
 func (n *Node) armSlot(g superframe.GTS) {
 	idx := g.Index(n.cfg.Clock.Config())
-	if old := n.slotEvents[idx]; old != nil {
-		old.Cancel()
-	}
+	n.slotEvents[idx].Cancel()
 	at := n.cfg.Clock.NextGTSStart(n.cfg.Kernel.Now(), g)
 	n.slotEvents[idx] = n.cfg.Kernel.At(at, func() { n.slotStart(g) })
 }
@@ -321,10 +336,8 @@ func (n *Node) armSlot(g superframe.GTS) {
 // disarmSlot cancels the pending occurrence of a slot.
 func (n *Node) disarmSlot(g superframe.GTS) {
 	idx := g.Index(n.cfg.Clock.Config())
-	if ev := n.slotEvents[idx]; ev != nil {
-		ev.Cancel()
-		delete(n.slotEvents, idx)
-	}
+	n.slotEvents[idx].Cancel()
+	delete(n.slotEvents, idx)
 }
 
 // slotStart runs at the beginning of an owned GTS occurrence.
@@ -550,9 +563,7 @@ func (n *Node) sendRequest(hs *handshake) {
 // requesterFail rolls the requester side back.
 func (n *Node) requesterFail(hs *handshake, counted bool) {
 	_ = counted
-	if hs.timer != nil {
-		hs.timer.Cancel()
-	}
+	hs.timer.Cancel()
 	if !hs.deallocate && n.slots.State(hs.gts) == SlotPending {
 		n.slots.Clear(hs.gts)
 	}
@@ -630,9 +641,7 @@ func (n *Node) handleResponse(resp Response) {
 		if hs == nil || hs.id != resp.ID {
 			return
 		}
-		if hs.timer != nil {
-			hs.timer.Cancel()
-		}
+		hs.timer.Cancel()
 		if !resp.Approved {
 			// Duplicate at the responder: remember the slot as taken and
 			// retry with another at the next control tick.

@@ -85,6 +85,7 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 	clock := superframe.NewClock(superframe.DefaultConfig())
 	medium := radio.NewMedium(kernel, cfg.Network.Topology, sim.NewRandStream(cfg.Seed, 1000))
 	metrics := &Metrics{}
+	pool := &frame.Pool{}
 
 	n := cfg.Network.NumNodes()
 	nodes := make([]*Node, n)
@@ -100,6 +101,7 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 			Rng:        sim.NewRandStream(cfg.Seed, 5000+uint64(i)),
 			MaxTxSlots: cfg.MaxTxSlots,
 			Metrics:    metrics,
+			FramePool:  pool,
 		})
 		engine := scenario.BuildEngine(cfg.MAC, cfg.QMA, mac.Config{
 			ID:        id,
@@ -107,6 +109,7 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 			Medium:    medium,
 			Clock:     clock,
 			OnCommand: node.CommandHook(),
+			FramePool: pool,
 		}, sim.NewRandStream(cfg.Seed, uint64(i)))
 		node.AttachCAP(engine)
 		nodes[i] = node

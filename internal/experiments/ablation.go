@@ -52,11 +52,10 @@ func RunAblations(mode Mode) []*Table {
 		{"policy re-evaluation on decay", scenario.QMAOptions{ReevalOnDecay: true}},
 	}
 
-	for _, v := range variants {
-		v := v
-		est := stats.ReplicateMany(mode.Reps, mode.Parallel, func(seed uint64) map[string]float64 {
+	ests := stats.ReplicateGrid(len(variants), mode.Reps, mode.Parallel,
+		func(cell int, seed uint64) map[string]float64 {
 			cfg := hiddenNodeConfig(scenario.QMA, 25, mode, seed)
-			cfg.QMA = v.opts
+			cfg.QMA = variants[cell].opts
 			res := scenario.Run(cfg)
 			return map[string]float64{
 				"pdr":   res.NetworkPDR(),
@@ -64,6 +63,8 @@ func RunAblations(mode Mode) []*Table {
 				"queue": res.MeanQueueLevel(0, 2),
 			}
 		})
+	for vi, v := range variants {
+		est := ests[vi]
 		t.AddRow(v.name, ci(est["pdr"].Mean, est["pdr"].CI),
 			ci(est["delay"].Mean, est["delay"].CI), ci(est["queue"].Mean, est["queue"].CI))
 	}

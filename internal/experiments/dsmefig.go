@@ -37,25 +37,29 @@ func RunDSMEScalability(mode Mode) []*Table {
 		primary.Columns = append(primary.Columns, mk.String())
 	}
 
-	for _, count := range counts {
+	// One grid cell per (node count, MAC) point, sharded across one pool.
+	ests := stats.ReplicateGrid(len(counts)*len(macs), mode.Reps, mode.Parallel,
+		func(cell int, seed uint64) map[string]float64 {
+			count, mk := counts[cell/len(macs)], macs[cell%len(macs)]
+			res := dsme.RunScenario(dsme.ScenarioConfig{
+				Network:  topo.RingsForCount(count),
+				MAC:      mk,
+				Seed:     seed,
+				Duration: mode.DSMEDuration,
+				Warmup:   mode.DSMEWarmup,
+			})
+			return map[string]float64{
+				"secondary": res.Metrics.SecondaryPDR(),
+				"requests":  res.Metrics.RequestSuccessRatio(),
+				"allocs":    res.AllocationsPerSecond,
+				"primary":   res.Metrics.PrimaryPDR(),
+			}
+		})
+	for ci2, count := range counts {
 		rows := [4][]string{{fmt.Sprintf("%d", count)}, {fmt.Sprintf("%d", count)},
 			{fmt.Sprintf("%d", count)}, {fmt.Sprintf("%d", count)}}
-		for _, mk := range macs {
-			est := stats.ReplicateMany(mode.Reps, mode.Parallel, func(seed uint64) map[string]float64 {
-				res := dsme.RunScenario(dsme.ScenarioConfig{
-					Network:  topo.RingsForCount(count),
-					MAC:      mk,
-					Seed:     seed,
-					Duration: mode.DSMEDuration,
-					Warmup:   mode.DSMEWarmup,
-				})
-				return map[string]float64{
-					"secondary": res.Metrics.SecondaryPDR(),
-					"requests":  res.Metrics.RequestSuccessRatio(),
-					"allocs":    res.AllocationsPerSecond,
-					"primary":   res.Metrics.PrimaryPDR(),
-				}
-			})
+		for mi := range macs {
+			est := ests[ci2*len(macs)+mi]
 			rows[0] = append(rows[0], ci(est["secondary"].Mean, est["secondary"].CI))
 			rows[1] = append(rows[1], ci(est["requests"].Mean, est["requests"].CI))
 			rows[2] = append(rows[2], ci(est["allocs"].Mean, est["allocs"].CI))

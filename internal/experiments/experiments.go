@@ -25,7 +25,10 @@ type Mode struct {
 	Reps int
 	// Packets is the number of evaluation packets per source.
 	Packets int
-	// Parallel bounds concurrent replications (0 = all at once).
+	// Parallel bounds the worker pool that shards independent replications
+	// and sweep points (0 = GOMAXPROCS, 1 = sequential). Results are
+	// byte-identical for every value: each job derives all randomness from
+	// its seed and merging is order-independent.
 	Parallel int
 	// Warmup is the management/formation time before evaluation traffic.
 	Warmup sim.Time
@@ -33,12 +36,14 @@ type Mode struct {
 	DSMEDuration, DSMEWarmup sim.Time
 }
 
-// Quick returns the reduced mode used by `go test -bench`.
+// Quick returns the reduced mode used by `go test -bench`. Replications run
+// on all hardware threads (Parallel 0 = GOMAXPROCS).
 func Quick() Mode {
 	return Mode{
 		Name:         "quick",
 		Reps:         3,
 		Packets:      300,
+		Parallel:     0,
 		Warmup:       40 * sim.Second,
 		DSMEDuration: 400 * sim.Second,
 		DSMEWarmup:   150 * sim.Second,
@@ -46,12 +51,14 @@ func Quick() Mode {
 }
 
 // Full returns the paper-scale mode (15 repetitions, 1000 packets, 100 s
-// association phase, 200 s DSME warm-up).
+// association phase, 200 s DSME warm-up), replicated on all hardware
+// threads.
 func Full() Mode {
 	return Mode{
 		Name:         "full",
 		Reps:         15,
 		Packets:      1000,
+		Parallel:     0,
 		Warmup:       100 * sim.Second,
 		DSMEDuration: 1000 * sim.Second,
 		DSMEWarmup:   200 * sim.Second,

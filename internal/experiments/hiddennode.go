@@ -69,22 +69,29 @@ func RunHiddenNodeSweep(mode Mode) []*Table {
 		delay.Columns = append(delay.Columns, mk.String())
 	}
 
-	for _, delta := range sweepDeltas(mode) {
+	// One grid cell per (δ, MAC) point: the whole sweep shares one worker
+	// pool instead of parallelizing only within a point's few replications.
+	deltas := sweepDeltas(mode)
+	macs := sweepMACs()
+	est := stats.ReplicateGrid(len(deltas)*len(macs), mode.Reps, mode.Parallel,
+		func(cell int, seed uint64) map[string]float64 {
+			delta, mk := deltas[cell/len(macs)], macs[cell%len(macs)]
+			res := scenario.Run(hiddenNodeConfig(mk, delta, mode, seed))
+			return map[string]float64{
+				"pdr":   res.NetworkPDR(),
+				"queue": res.MeanQueueLevel(0, 2),
+				"delay": res.MeanDelay(),
+			}
+		})
+	for di, delta := range deltas {
 		pdrRow := []string{f2(delta)}
 		queueRow := []string{f2(delta)}
 		delayRow := []string{f2(delta)}
-		for _, mk := range sweepMACs() {
-			est := stats.ReplicateMany(mode.Reps, mode.Parallel, func(seed uint64) map[string]float64 {
-				res := scenario.Run(hiddenNodeConfig(mk, delta, mode, seed))
-				return map[string]float64{
-					"pdr":   res.NetworkPDR(),
-					"queue": res.MeanQueueLevel(0, 2),
-					"delay": res.MeanDelay(),
-				}
-			})
-			pdrRow = append(pdrRow, ci(est["pdr"].Mean, est["pdr"].CI))
-			queueRow = append(queueRow, ci(est["queue"].Mean, est["queue"].CI))
-			delayRow = append(delayRow, ci(est["delay"].Mean, est["delay"].CI))
+		for mi := range macs {
+			e := est[di*len(macs)+mi]
+			pdrRow = append(pdrRow, ci(e["pdr"].Mean, e["pdr"].CI))
+			queueRow = append(queueRow, ci(e["queue"].Mean, e["queue"].CI))
+			delayRow = append(delayRow, ci(e["delay"].Mean, e["delay"].CI))
 		}
 		pdr.AddRow(pdrRow...)
 		queue.AddRow(queueRow...)
@@ -144,19 +151,23 @@ func RunConvergence(mode Mode) []*Table {
 		duration = 250 * sim.Second
 	}
 	order := []string{"δ=1", "δ=10", "δ=100"}
-	cumQ := map[string]*stats.Series{}
-	rho := map[string]*stats.Series{}
-	for _, delta := range []float64{1, 10, 100} {
-		cfg := hiddenNodeConfig(scenario.QMA, delta, mode, 1)
+	deltas := []float64{1, 10, 100}
+	results := make([]*scenario.Result, len(deltas))
+	stats.ForEach(len(deltas), mode.Parallel, func(i int) {
+		cfg := hiddenNodeConfig(scenario.QMA, deltas[i], mode, 1)
 		cfg.Duration = duration
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe
-		for i := range cfg.Traffic {
-			cfg.Traffic[i].MaxPackets = 0 // stream for the whole run, as in Fig. 10
+		for j := range cfg.Traffic {
+			cfg.Traffic[j].MaxPackets = 0 // stream for the whole run, as in Fig. 10
 		}
-		res := scenario.Run(cfg)
+		results[i] = scenario.Run(cfg)
+	})
+	cumQ := map[string]*stats.Series{}
+	rho := map[string]*stats.Series{}
+	for i, delta := range deltas {
 		key := fmt.Sprintf("δ=%g", delta)
-		cumQ[key] = res.Nodes[0].CumQ
-		rho[key] = res.Nodes[0].Rho.Rolling(10)
+		cumQ[key] = results[i].Nodes[0].CumQ
+		rho[key] = results[i].Nodes[0].Rho.Rolling(10)
 	}
 	t10 := seriesTable("Fig. 10", "cumulative Q-values per frame at node A over time", "ΣQ", cumQ, order, 24)
 	t10.Notes = append(t10.Notes,
@@ -231,22 +242,29 @@ func RunSlotUtilization(mode Mode) []*Table {
 		{"Fig. 14", 10, 150 * sim.Second},
 		{"Fig. 15", 100, 170 * sim.Second},
 	}
-	for _, c := range cases {
+	// Two independent runs (snapshot, final) per case, all sharded together.
+	results := make([]*scenario.Result, 2*len(cases))
+	stats.ForEach(len(results), mode.Parallel, func(i int) {
+		c := cases[i/2]
+		duration := c.snapshot
+		if i%2 == 1 {
+			duration += 200 * sim.Second
+		}
+		cfg := hiddenNodeConfig(scenario.QMA, c.delta, mode, 1)
+		cfg.Duration = duration
+		for j := range cfg.Traffic {
+			cfg.Traffic[j].MaxPackets = 0
+		}
+		results[i] = scenario.Run(cfg)
+	})
+	for idx, c := range cases {
 		t := &Table{
 			ID:      c.fig,
 			Title:   fmt.Sprintf("subslot policies for δ=%g ('.'=QBackoff, C=QCCA, S=QSend)", c.delta),
 			Columns: []string{"node", "when", "policy (subslots 0..53)"},
 		}
-		mk := func(duration sim.Time) *scenario.Result {
-			cfg := hiddenNodeConfig(scenario.QMA, c.delta, mode, 1)
-			cfg.Duration = duration
-			for i := range cfg.Traffic {
-				cfg.Traffic[i].MaxPackets = 0
-			}
-			return scenario.Run(cfg)
-		}
-		snap := mk(c.snapshot)
-		fin := mk(c.snapshot + 200*sim.Second)
+		snap := results[2*idx]
+		fin := results[2*idx+1]
 		t.AddRow("A", fmt.Sprintf("after %s", c.snapshot), policyString(snap.Nodes[0].Policy))
 		t.AddRow("C", fmt.Sprintf("after %s", c.snapshot), policyString(snap.Nodes[2].Policy))
 		t.AddRow("A", "final", policyString(fin.Nodes[0].Policy))

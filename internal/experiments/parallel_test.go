@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"qma/internal/sim"
+)
+
+// render serializes tables exactly as the qma-experiments binary would.
+func render(tables []*Table) string {
+	var b strings.Builder
+	for _, t := range tables {
+		t.Render(&b)
+	}
+	return b.String()
+}
+
+// tinyMode keeps the determinism regression fast: the property under test is
+// scheduling-independence of the replication engine, which does not depend
+// on run length.
+func tinyMode(parallel int) Mode {
+	m := Quick()
+	m.Reps = 2
+	m.Packets = 40
+	m.Warmup = 5 * sim.Second
+	m.Parallel = parallel
+	return m
+}
+
+// TestParallelRunsAreDeterministic asserts the tentpole invariant of the
+// replication engine: experiments.Run with Parallel: 8 produces
+// byte-identical tables to Parallel: 1 for the same seeds. Every replication
+// owns a private kernel, rng, medium and frame pool, and merging walks
+// results in seed order, so worker scheduling must not be observable.
+func TestParallelRunsAreDeterministic(t *testing.T) {
+	ids := []string{"fig07-09"}
+	if !testing.Short() {
+		ids = append(ids, "fig18")
+	}
+	for _, id := range ids {
+		seq, ok := Run(id, tinyMode(1))
+		if !ok {
+			t.Fatalf("experiment %s not registered", id)
+		}
+		par, _ := Run(id, tinyMode(8))
+		if got, want := render(par), render(seq); got != want {
+			t.Errorf("%s: Parallel=8 output differs from Parallel=1\n--- parallel ---\n%s--- sequential ---\n%s", id, got, want)
+		}
+	}
+}
+
+// TestRunRepeatabilitySameMode guards against hidden global state (shared
+// pools, package-level rngs) leaking between invocations: running the same
+// experiment twice in one process must give identical tables.
+func TestRunRepeatabilitySameMode(t *testing.T) {
+	a, ok := Run("fig07-09", tinyMode(0))
+	if !ok {
+		t.Fatal("fig07-09 not registered")
+	}
+	b, _ := Run("fig07-09", tinyMode(0))
+	if render(a) != render(b) {
+		t.Error("two identical invocations produced different tables")
+	}
+}

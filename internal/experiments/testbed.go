@@ -67,25 +67,22 @@ func runTestbedPDR(mode Mode, net *topo.Network, id, kind string) []*Table {
 		Columns: []string{"node", "hops", "QMA", "unslotted CSMA/CA"},
 	}
 	macs := []scenario.MACKind{scenario.QMA, scenario.CSMAUnslotted}
-	// est[mac][node] accumulates per-replication PDRs.
-	est := make([]map[frame.NodeID]*stats.Running, len(macs))
-	for mi, mk := range macs {
-		est[mi] = make(map[frame.NodeID]*stats.Running)
-		perRep := stats.Replicate(mode.Reps, mode.Parallel, func(seed uint64) float64 {
-			res := scenario.Run(testbedConfig(net, mk, mode, seed))
+	// One grid cell per MAC; per-node PDRs travel through the metric map
+	// (keyed by node id) so each replication writes only its own result
+	// slot — the previous version mutated a shared accumulator from inside
+	// the replication goroutines, a data race.
+	est := stats.ReplicateGrid(len(macs), mode.Reps, mode.Parallel,
+		func(cell int, seed uint64) map[string]float64 {
+			res := scenario.Run(testbedConfig(net, macs[cell], mode, seed))
+			out := make(map[string]float64)
 			for _, n := range res.Nodes {
 				if n.ID == net.Sink {
 					continue
 				}
-				if est[mi][n.ID] == nil {
-					est[mi][n.ID] = &stats.Running{}
-				}
-				est[mi][n.ID].Add(n.PDR())
+				out[fmt.Sprintf("pdr.%d", n.ID)] = n.PDR()
 			}
-			return res.NetworkPDR()
+			return out
 		})
-		_ = perRep
-	}
 	for i := 0; i < net.NumNodes(); i++ {
 		id := frame.NodeID(i)
 		if id == net.Sink {
@@ -93,7 +90,7 @@ func runTestbedPDR(mode Mode, net *topo.Network, id, kind string) []*Table {
 		}
 		row := []string{net.Label(id), fmt.Sprintf("%d", net.Depth(id))}
 		for mi := range macs {
-			e := est[mi][id].Estimate()
+			e := est[mi][fmt.Sprintf("pdr.%d", id)]
 			row = append(row, ci(e.Mean, e.CI))
 		}
 		t.AddRow(row...)
@@ -115,9 +112,10 @@ func RunEnergyParity(mode Mode) []*Table {
 	net := topo.Tree10()
 	profile := energy.AT86RF231()
 	capDuty := float64(superframe.DefaultConfig().CAPDuration()) / float64(superframe.DefaultConfig().SuperframeDuration())
-	for _, mk := range []scenario.MACKind{scenario.QMA, scenario.CSMAUnslotted} {
-		est := stats.ReplicateMany(mode.Reps, mode.Parallel, func(seed uint64) map[string]float64 {
-			cfg := testbedConfig(net, mk, mode, seed)
+	macs := []scenario.MACKind{scenario.QMA, scenario.CSMAUnslotted}
+	ests := stats.ReplicateGrid(len(macs), mode.Reps, mode.Parallel,
+		func(cell int, seed uint64) map[string]float64 {
+			cfg := testbedConfig(net, macs[cell], mode, seed)
 			res := scenario.Run(cfg)
 			var attempts, airtime, mj, delivered float64
 			for _, n := range res.Nodes {
@@ -138,6 +136,8 @@ func RunEnergyParity(mode Mode) []*Table {
 			}
 			return out
 		})
+	for mi, mk := range macs {
+		est := ests[mi]
 		t.AddRow(mk.String(),
 			ci(est["attempts"].Mean, est["attempts"].CI),
 			ci(est["airtime"].Mean, est["airtime"].CI),

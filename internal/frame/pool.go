@@ -1,0 +1,46 @@
+package frame
+
+// Pool recycles Frame objects within one simulation. Like the kernel's event
+// arena it is single-threaded by design: every replicated run owns a private
+// kernel and a private pool, so no locking or sync.Pool machinery is needed,
+// and recycling stays deterministic.
+//
+// All methods are nil-receiver safe: a nil *Pool degrades to plain heap
+// allocation with no recycling, so pooling is strictly opt-in for callers
+// that can prove their frames' lifecycles end.
+type Pool struct {
+	free []*Frame
+}
+
+// Get returns a zeroed frame, reusing a recycled one when available.
+func (p *Pool) Get() *Frame {
+	if p == nil {
+		return &Frame{}
+	}
+	if n := len(p.free); n > 0 {
+		f := p.free[n-1]
+		p.free = p.free[:n-1]
+		*f = Frame{}
+		return f
+	}
+	return &Frame{}
+}
+
+// Put returns f to the pool. The caller asserts that no reference to f
+// survives the call: the frame will be zeroed and handed out again by a
+// later Get. Putting a frame that was not allocated by Get is allowed (the
+// pool simply grows). Put(nil) and calls on a nil pool are no-ops.
+func (p *Pool) Put(f *Frame) {
+	if p == nil || f == nil {
+		return
+	}
+	p.free = append(p.free, f)
+}
+
+// Size reports the number of idle frames held by the pool.
+func (p *Pool) Size() int {
+	if p == nil {
+		return 0
+	}
+	return len(p.free)
+}

@@ -1,0 +1,55 @@
+package frame
+
+import "testing"
+
+func TestPoolRecycles(t *testing.T) {
+	p := &Pool{}
+	f := p.Get()
+	f.Kind = Data
+	f.Seq = 42
+	f.Retries = 3
+	p.Put(f)
+	if p.Size() != 1 {
+		t.Fatalf("Size() = %d, want 1", p.Size())
+	}
+	g := p.Get()
+	if g != f {
+		t.Fatal("Get did not reuse the recycled frame")
+	}
+	if g.Kind != 0 || g.Seq != 0 || g.Retries != 0 {
+		t.Errorf("recycled frame not zeroed: %+v", g)
+	}
+	if p.Size() != 0 {
+		t.Errorf("Size() = %d after Get, want 0", p.Size())
+	}
+}
+
+func TestPoolNilSafety(t *testing.T) {
+	var p *Pool
+	f := p.Get()
+	if f == nil {
+		t.Fatal("nil pool Get returned nil")
+	}
+	p.Put(f) // no-op, must not panic
+	if p.Size() != 0 {
+		t.Error("nil pool reports nonzero size")
+	}
+	pp := &Pool{}
+	pp.Put(nil) // no-op
+	if pp.Size() != 0 {
+		t.Error("Put(nil) grew the pool")
+	}
+}
+
+func TestPoolSteadyStateDoesNotAllocate(t *testing.T) {
+	p := &Pool{}
+	p.Put(p.Get()) // warm one slot
+	allocs := testing.AllocsPerRun(1000, func() {
+		f := p.Get()
+		f.MPDUBytes = 80
+		p.Put(f)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Get/Put allocates %.1f objects per op, want 0", allocs)
+	}
+}

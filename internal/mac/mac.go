@@ -111,6 +111,13 @@ type Config struct {
 	// queue fills through forwarding alone would never start transmitting.
 	// May be nil.
 	OnAccept func()
+	// FramePool, when non-nil, recycles MAC-owned frames: immediate ACKs
+	// are returned to it after their on-air time, forwarded copies are
+	// allocated from it, and every data frame is returned when it
+	// permanently leaves the transmit queue (acknowledged, dropped after
+	// retries, or dropped by CSMA backoff exhaustion). All engines of one
+	// kernel may share a pool; it must not cross kernels.
+	FramePool *frame.Pool
 }
 
 type neighborLevel struct {
@@ -121,7 +128,7 @@ type neighborLevel struct {
 type pendingAck struct {
 	from  frame.NodeID
 	seq   uint32
-	timer *sim.Event
+	timer sim.EventID
 	cb    func(success bool)
 }
 
@@ -153,6 +160,12 @@ type Base struct {
 	qlIntegralStart sim.Time
 	qlLastChange    sim.Time
 	qlIntegral      float64
+
+	// ackStartFn/ackDoneFn are long-lived callbacks for the immediate-ACK
+	// path, scheduled via Kernel.AtCall so acknowledging costs no closure
+	// allocations.
+	ackStartFn func(any)
+	ackDoneFn  func(any)
 }
 
 // NewBase validates cfg and returns a Base.
@@ -166,13 +179,16 @@ func NewBase(cfg Config) *Base {
 	if cfg.NeighborStaleAfter <= 0 {
 		cfg.NeighborStaleAfter = 16 * cfg.Clock.Config().SuperframeDuration()
 	}
-	return &Base{
+	b := &Base{
 		cfg:           cfg,
 		queue:         frame.NewQueue(cfg.QueueCap),
 		neighborQueue: make(map[frame.NodeID]neighborLevel),
 		lastSeq:       make(map[frame.NodeID]uint32),
 		hasSeq:        make(map[frame.NodeID]bool),
 	}
+	b.ackStartFn = func(a any) { b.transmitAck(a.(*frame.Frame)) }
+	b.ackDoneFn = func(a any) { b.cfg.FramePool.Put(a.(*frame.Frame)) }
+	return b
 }
 
 // ID reports the node address.
@@ -323,6 +339,7 @@ func (b *Base) FinishFrame(f *frame.Frame, success bool) (done bool) {
 		b.noteQueueChange()
 		b.queue.Pop()
 		b.signalDone(f, true)
+		b.cfg.FramePool.Put(f)
 		return true
 	}
 	f.Retries++
@@ -331,6 +348,7 @@ func (b *Base) FinishFrame(f *frame.Frame, success bool) (done bool) {
 		b.queue.Pop()
 		b.stats.RetryDrops++
 		b.signalDone(f, false)
+		b.cfg.FramePool.Put(f)
 		return true
 	}
 	return false
@@ -354,6 +372,7 @@ func (b *Base) DropCSMAFailure(f *frame.Frame) {
 	b.queue.Pop()
 	b.stats.CSMAFails++
 	b.signalDone(f, false)
+	b.cfg.FramePool.Put(f)
 }
 
 // Deliver implements radio.Handler: the shared receive path. Every decoded
@@ -437,19 +456,20 @@ func (b *Base) acceptData(f *frame.Frame) {
 	if !ok {
 		return
 	}
-	fwd := &frame.Frame{
-		Kind:      frame.Data,
-		Src:       b.cfg.ID,
-		Dst:       next,
-		Origin:    f.Origin,
-		Sink:      f.Sink,
-		Seq:       f.Seq,
-		MPDUBytes: f.MPDUBytes,
-		Tag:       f.Tag,
-		CreatedAt: f.CreatedAt,
-	}
+	fwd := b.cfg.FramePool.Get()
+	fwd.Kind = frame.Data
+	fwd.Src = b.cfg.ID
+	fwd.Dst = next
+	fwd.Origin = f.Origin
+	fwd.Sink = f.Sink
+	fwd.Seq = f.Seq
+	fwd.MPDUBytes = f.MPDUBytes
+	fwd.Tag = f.Tag
+	fwd.CreatedAt = f.CreatedAt
 	if b.Enqueue(fwd) {
 		b.stats.Forwarded++
+	} else {
+		b.cfg.FramePool.Put(fwd)
 	}
 }
 
@@ -465,25 +485,31 @@ func (b *Base) isDuplicate(f *frame.Frame) bool {
 func (b *Base) sendAck(f *frame.Frame) {
 	now := b.cfg.Kernel.Now()
 	ackStart := now + frame.TurnaroundTime
-	ack := &frame.Frame{
-		Kind:      frame.Ack,
-		Src:       b.cfg.ID,
-		Dst:       f.Src,
-		Origin:    b.cfg.ID,
-		Sink:      f.Src,
-		Seq:       f.Seq,
-		MPDUBytes: frame.AckMPDUBytes,
-		Channel:   f.Channel,
-	}
+	ack := b.cfg.FramePool.Get()
+	ack.Kind = frame.Ack
+	ack.Src = b.cfg.ID
+	ack.Dst = f.Src
+	ack.Origin = b.cfg.ID
+	ack.Sink = f.Src
+	ack.Seq = f.Seq
+	ack.MPDUBytes = frame.AckMPDUBytes
+	ack.Channel = f.Channel
 	b.ExtendBusy(ackStart + frame.AckDuration)
-	b.cfg.Kernel.At(ackStart, func() {
-		// Skip the ACK if the node somehow started transmitting meanwhile
-		// (cannot normally happen: a node transmitting during the reception
-		// would have corrupted it).
-		if b.cfg.Medium.Transmitting(b.cfg.ID) {
-			return
-		}
-		b.stats.AcksSent++
-		b.cfg.Medium.StartTX(b.cfg.ID, ack)
-	})
+	b.cfg.Kernel.AtCall(ackStart, b.ackStartFn, ack)
+}
+
+// transmitAck puts a prepared immediate ACK on the air and arranges its
+// return to the frame pool once the transmission (and therefore delivery,
+// which the medium performs first at the same instant) has ended.
+func (b *Base) transmitAck(ack *frame.Frame) {
+	// Skip the ACK if the node somehow started transmitting meanwhile
+	// (cannot normally happen: a node transmitting during the reception
+	// would have corrupted it).
+	if b.cfg.Medium.Transmitting(b.cfg.ID) {
+		b.cfg.FramePool.Put(ack)
+		return
+	}
+	b.stats.AcksSent++
+	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, ack)
+	b.cfg.Kernel.AtCall(txEnd, b.ackDoneFn, ack)
 }

@@ -20,7 +20,9 @@ type HandlerFunc func(f *frame.Frame)
 // Deliver implements Handler.
 func (h HandlerFunc) Deliver(f *frame.Frame) { h(f) }
 
-// transmission tracks one frame on the air.
+// transmission tracks one frame on the air. Transmissions are pooled by
+// their medium: endTX returns them (with their slices' capacity) to the
+// freelist, so a steady-state simulation stops allocating per transmission.
 type transmission struct {
 	src     frame.NodeID
 	f       *frame.Frame
@@ -30,7 +32,8 @@ type transmission struct {
 	// corrupt[i] is true when the reception at decode-neighbour i collided
 	// or the receiver was transmitting; indexed parallel to receivers.
 	corrupt []bool
-	// receivers are the decode-neighbours of src (precomputed).
+	// receivers are the decode-neighbours of src tuned to the frame's
+	// channel at transmission start.
 	receivers []frame.NodeID
 }
 
@@ -77,6 +80,12 @@ type Medium struct {
 	// decodeNbrs[i] / senseNbrs[i] are precomputed neighbour lists.
 	decodeNbrs [][]frame.NodeID
 	senseNbrs  [][]bool // senseNbrs[src][dst]
+
+	// txPool recycles transmission structs; endTXFn is the long-lived
+	// callback StartTX schedules through Kernel.AtCall so ending a
+	// transmission needs no per-call closure.
+	txPool  []*transmission
+	endTXFn func(any)
 }
 
 // NewMedium builds a medium over the given topology. rng drives
@@ -109,6 +118,7 @@ func NewMedium(k *sim.Kernel, topo Topology, rng *sim.Rand) *Medium {
 			m.senseNbrs[src][dst] = topo.CanSense(s, d)
 		}
 	}
+	m.endTXFn = func(a any) { m.endTX(a.(*transmission)) }
 	return m
 }
 
@@ -171,24 +181,21 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	m.stats[src].TxCount++
 	m.stats[src].TxAirtime += dur
 
+	t := m.getTransmission()
+	t.src = src
+	t.f = f
+	t.channel = f.Channel
+	t.start = now
+	t.end = end
 	// Only neighbours tuned to the frame's channel at transmission start can
 	// synchronize on it (eligibility is captured at the start; a receiver
 	// retuning mid-flight loses the frame through the end-of-transmission
 	// tuning check instead).
-	var receivers []frame.NodeID
 	for _, r := range m.decodeNbrs[src] {
 		if m.tuned[r] == f.Channel {
-			receivers = append(receivers, r)
+			t.receivers = append(t.receivers, r)
+			t.corrupt = append(t.corrupt, false)
 		}
-	}
-	t := &transmission{
-		src:       src,
-		f:         f,
-		channel:   f.Channel,
-		start:     now,
-		end:       end,
-		receivers: receivers,
-		corrupt:   make([]bool, len(receivers)),
 	}
 	m.active = append(m.active, t)
 
@@ -209,8 +216,27 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 		m.inflight[r] = append(m.inflight[r], t)
 	}
 
-	m.k.At(end, func() { m.endTX(t) })
+	m.k.AtCall(end, m.endTXFn, t)
 	return end
+}
+
+// getTransmission takes a transmission from the pool, retaining its slices'
+// capacity, or allocates a fresh one.
+func (m *Medium) getTransmission() *transmission {
+	if n := len(m.txPool); n > 0 {
+		t := m.txPool[n-1]
+		m.txPool = m.txPool[:n-1]
+		return t
+	}
+	return &transmission{}
+}
+
+// putTransmission resets t and returns it to the pool.
+func (m *Medium) putTransmission(t *transmission) {
+	t.f = nil
+	t.receivers = t.receivers[:0]
+	t.corrupt = t.corrupt[:0]
+	m.txPool = append(m.txPool, t)
 }
 
 // corruptAllAt marks every in-flight reception at node id as collided.
@@ -260,6 +286,7 @@ func (m *Medium) endTX(t *transmission) {
 			h.Deliver(t.f)
 		}
 	}
+	m.putTransmission(t)
 }
 
 func (m *Medium) removeInflight(id frame.NodeID, t *transmission) {

@@ -239,6 +239,7 @@ func (r *Result) MeanQueueLevel(ids ...frame.NodeID) float64 {
 type run struct {
 	cfg     Config
 	kernel  *sim.Kernel
+	pool    *frame.Pool
 	clock   *superframe.Clock
 	medium  *radio.Medium
 	engines []mac.Engine
@@ -292,6 +293,7 @@ func build(cfg Config) *run {
 	r := &run{
 		cfg:     cfg,
 		kernel:  kernel,
+		pool:    &frame.Pool{},
 		clock:   clock,
 		medium:  medium,
 		engines: make([]mac.Engine, n),
@@ -338,6 +340,7 @@ func (r *run) macConfig(id frame.NodeID) mac.Config {
 		QueueCap:   r.cfg.QueueCap,
 		MaxRetries: retries,
 		Router:     r.cfg.Network,
+		FramePool:  r.pool,
 		OnSinkDeliver: func(f *frame.Frame) {
 			if f.Tag != frame.TagEval || f.Kind != frame.Data {
 				return
@@ -433,6 +436,7 @@ func (r *run) buildTraffic() {
 			MPDUBytes:  spec.MPDUBytes,
 			Tag:        spec.Tag,
 			Seq:        seqs[spec.Origin],
+			Pool:       r.pool,
 			OnGenerate: func(f *frame.Frame) {
 				if f.Tag == frame.TagEval {
 					node.Generated++
@@ -449,6 +453,7 @@ func (r *run) buildTraffic() {
 			Origin:  spec.Origin,
 			Period:  spec.Period,
 			StartAt: spec.StartAt,
+			Pool:    r.pool,
 		}
 		b.Start()
 	}

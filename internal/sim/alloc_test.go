@@ -1,0 +1,55 @@
+package sim
+
+import "testing"
+
+// The event arena and freelist exist so the hot loop performs no heap
+// allocations; these tests pin that property so a refactor cannot silently
+// reintroduce per-event garbage (BenchmarkKernelEvent reports the same
+// number, but only when someone reads the bench output).
+
+func TestScheduleRunSteadyStateDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	// Warm the arena and heap capacity.
+	k.Schedule(1, fn)
+	k.Run(k.Now() + 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.Schedule(1, fn)
+		k.Run(k.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state Schedule+Run allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+func TestAtCallSteadyStateDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	type ctx struct{ n int }
+	c := &ctx{}
+	fn := func(a any) { a.(*ctx).n++ }
+	k.AtCall(k.Now()+1, fn, c)
+	k.Run(k.Now() + 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AtCall(k.Now()+1, fn, c)
+		k.Run(k.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AtCall+Run allocates %.1f objects per event, want 0", allocs)
+	}
+	if c.n < 1000 {
+		t.Errorf("callback ran %d times, want >= 1000", c.n)
+	}
+}
+
+func TestCancelSteadyStateDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	fn := func() {}
+	allocs := testing.AllocsPerRun(1000, func() {
+		ev := k.Schedule(1, fn)
+		ev.Cancel()
+		k.Run(k.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Errorf("schedule+cancel cycle allocates %.1f objects per event, want 0", allocs)
+	}
+}

@@ -1,77 +1,105 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events are created via Kernel.Schedule and
-// Kernel.At and may be cancelled before they fire. The zero value is inert.
-type Event struct {
+// EventID is a generation-counted handle to a scheduled callback, returned
+// by Kernel.Schedule, Kernel.At and Kernel.AtCall. It is a small value (not
+// a pointer into the kernel's event storage), so the kernel is free to
+// recycle the underlying slot after the event fires or is compacted away:
+// a stale handle becomes inert rather than aliasing a newer event. The zero
+// value is inert.
+type EventID struct {
+	k   *Kernel
+	idx uint32
+	gen uint32
+}
+
+// live reports whether the handle still refers to its original, un-fired
+// occupant of the slot.
+func (e EventID) live() bool {
+	return e.k != nil && e.k.slots[e.idx].gen == e.gen
+}
+
+// At reports the instant the event is scheduled for, or 0 when the event
+// already fired, was recycled, or e is the zero value.
+func (e EventID) At() Time {
+	if !e.live() {
+		return 0
+	}
+	return e.k.slots[e.idx].at
+}
+
+// Pending reports whether the event is still queued and will fire.
+func (e EventID) Pending() bool {
+	return e.live() && !e.k.slots[e.idx].canceled
+}
+
+// Cancel prevents the event from firing. Cancelling an already fired,
+// already cancelled or recycled event — or the zero EventID — is a no-op.
+// The event's callback (and everything it captures) is released immediately;
+// the queue entry itself is dropped lazily.
+func (e EventID) Cancel() {
+	if !e.live() {
+		return
+	}
+	k := e.k
+	s := &k.slots[e.idx]
+	if s.canceled {
+		return
+	}
+	s.canceled = true
+	s.fn = nil
+	s.fnArg = nil
+	s.arg = nil
+	k.canceledQueued++
+	k.maybeCompact()
+}
+
+// Canceled reports whether Cancel was called before the event fired. After
+// the kernel recycles the slot for a newer event the answer degrades to
+// false (the handle is stale and carries no history).
+func (e EventID) Canceled() bool {
+	if e.k == nil {
+		return false
+	}
+	s := &e.k.slots[e.idx]
+	// gen == e.gen: still queued (possibly cancelled, awaiting compaction).
+	// gen == e.gen+1: freed but not yet reused; the flag still describes us.
+	if s.gen != e.gen && s.gen != e.gen+1 {
+		return false
+	}
+	return s.canceled
+}
+
+// eventSlot is one arena entry. Slots are recycled through a freelist; gen
+// is odd while the slot is live and even while it is free, incrementing on
+// every allocation and every release so stale EventIDs can never match.
+type eventSlot struct {
 	at       Time
 	seq      uint64
-	index    int // heap index, -1 when not queued
-	canceled bool
 	fn       func()
-}
-
-// At reports the instant the event is scheduled for.
-func (e *Event) At() Time { return e.at }
-
-// Cancel prevents the event from firing. Cancelling an already fired or
-// already cancelled event is a no-op.
-func (e *Event) Cancel() {
-	if e != nil {
-		e.canceled = true
-	}
-}
-
-// Canceled reports whether Cancel was called before the event fired.
-func (e *Event) Canceled() bool { return e.canceled }
-
-// eventHeap orders events by (time, sequence). The sequence number makes the
-// ordering total and therefore the whole simulation deterministic: two events
-// scheduled for the same instant fire in scheduling order.
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
-}
-
-func (h *eventHeap) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*h)
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*h = old[:n-1]
-	return ev
+	fnArg    func(any)
+	arg      any
+	gen      uint32
+	canceled bool
 }
 
 // Kernel is a sequential discrete event simulator. It is not safe for
 // concurrent use; replicated runs each own a private Kernel.
+//
+// Events live in a kernel-owned arena and are ordered by an index-based
+// 4-ary min-heap, so steady-state scheduling performs no allocations.
 type Kernel struct {
-	queue   eventHeap
+	slots []eventSlot
+	free  []uint32 // freelist of recycled slot indices
+	heap  []uint32 // 4-ary min-heap of slot indices, ordered by (at, seq)
+
 	now     Time
 	seq     uint64
 	stopped bool
+	// canceledQueued counts cancelled events still occupying heap entries;
+	// when they dominate the queue it is compacted.
+	canceledQueued int
 	// processed counts events that actually fired (cancelled events are
 	// excluded); exposed for benchmarks and sanity checks.
 	processed uint64
@@ -79,21 +107,24 @@ type Kernel struct {
 
 // NewKernel returns a kernel with the clock at zero and an empty queue.
 func NewKernel() *Kernel {
-	return &Kernel{queue: make(eventHeap, 0, 1024)}
+	return &Kernel{
+		slots: make([]eventSlot, 0, 1024),
+		heap:  make([]uint32, 0, 1024),
+	}
 }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports the number of queued (possibly cancelled) events.
-func (k *Kernel) Pending() int { return len(k.queue) }
+func (k *Kernel) Pending() int { return len(k.heap) }
 
 // Processed reports how many events have fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Schedule enqueues fn to run after delay d (d must be >= 0) and returns a
 // cancellable handle.
-func (k *Kernel) Schedule(d Time, fn func()) *Event {
+func (k *Kernel) Schedule(d Time, fn func()) EventID {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %d", d))
 	}
@@ -102,17 +133,152 @@ func (k *Kernel) Schedule(d Time, fn func()) *Event {
 
 // At enqueues fn to run at absolute time t (t must not be in the past) and
 // returns a cancellable handle.
-func (k *Kernel) At(t Time, fn func()) *Event {
-	if t < k.now {
-		panic(fmt.Sprintf("sim: schedule into the past: now=%v at=%v", k.now, t))
-	}
+func (k *Kernel) At(t Time, fn func()) EventID {
 	if fn == nil {
 		panic("sim: nil event function")
 	}
+	idx, s := k.alloc(t)
+	s.fn = fn
+	k.heapPush(idx)
+	return EventID{k: k, idx: idx, gen: s.gen}
+}
+
+// AtCall enqueues fn(arg) to run at absolute time t. Unlike At it needs no
+// closure: hot paths keep one long-lived fn and pass per-event context
+// through arg (a pointer in an interface does not allocate), which keeps
+// scheduling entirely allocation-free.
+func (k *Kernel) AtCall(t Time, fn func(arg any), arg any) EventID {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	idx, s := k.alloc(t)
+	s.fnArg = fn
+	s.arg = arg
+	k.heapPush(idx)
+	return EventID{k: k, idx: idx, gen: s.gen}
+}
+
+// alloc takes a slot from the freelist (or grows the arena), stamps it with
+// t and the next sequence number and returns it. The returned pointer is
+// only valid until the next alloc.
+func (k *Kernel) alloc(t Time) (uint32, *eventSlot) {
+	if t < k.now {
+		panic(fmt.Sprintf("sim: schedule into the past: now=%v at=%v", k.now, t))
+	}
 	k.seq++
-	ev := &Event{at: t, seq: k.seq, fn: fn, index: -1}
-	heap.Push(&k.queue, ev)
-	return ev
+	var idx uint32
+	if n := len(k.free); n > 0 {
+		idx = k.free[n-1]
+		k.free = k.free[:n-1]
+	} else {
+		k.slots = append(k.slots, eventSlot{})
+		idx = uint32(len(k.slots) - 1)
+	}
+	s := &k.slots[idx]
+	s.at = t
+	s.seq = k.seq
+	s.gen++ // odd: live
+	s.canceled = false
+	return idx, s
+}
+
+// release returns a fired or compacted slot to the freelist, dropping the
+// callback (and everything it captures) immediately.
+func (k *Kernel) release(idx uint32) {
+	s := &k.slots[idx]
+	s.fn = nil
+	s.fnArg = nil
+	s.arg = nil
+	s.gen++ // even: free
+	k.free = append(k.free, idx)
+}
+
+// less orders two slot indices by (time, sequence). The sequence number
+// makes the ordering total and therefore the whole simulation deterministic:
+// two events scheduled for the same instant fire in scheduling order.
+func (k *Kernel) less(a, b uint32) bool {
+	sa, sb := &k.slots[a], &k.slots[b]
+	if sa.at != sb.at {
+		return sa.at < sb.at
+	}
+	return sa.seq < sb.seq
+}
+
+// heapPush appends idx and sifts it up the 4-ary heap.
+func (k *Kernel) heapPush(idx uint32) {
+	k.heap = append(k.heap, idx)
+	i := len(k.heap) - 1
+	for i > 0 {
+		p := (i - 1) / 4
+		if !k.less(k.heap[i], k.heap[p]) {
+			break
+		}
+		k.heap[i], k.heap[p] = k.heap[p], k.heap[i]
+		i = p
+	}
+}
+
+// heapPop removes the minimum (heap[0]).
+func (k *Kernel) heapPop() {
+	n := len(k.heap) - 1
+	k.heap[0] = k.heap[n]
+	k.heap = k.heap[:n]
+	if n > 0 {
+		k.siftDown(0)
+	}
+}
+
+func (k *Kernel) siftDown(i int) {
+	n := len(k.heap)
+	for {
+		first := 4*i + 1
+		if first >= n {
+			return
+		}
+		best := first
+		last := first + 4
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if k.less(k.heap[c], k.heap[best]) {
+				best = c
+			}
+		}
+		if !k.less(k.heap[best], k.heap[i]) {
+			return
+		}
+		k.heap[i], k.heap[best] = k.heap[best], k.heap[i]
+		i = best
+	}
+}
+
+// compactThreshold is the minimum queue length before lazy compaction kicks
+// in; below it, draining cancelled entries through heapPop is cheaper.
+const compactThreshold = 64
+
+// maybeCompact rebuilds the heap without cancelled entries once they make up
+// more than half of it. Cancellation is otherwise lazy (heap entries of
+// cancelled events are dropped when popped), so a workload that cancels
+// almost everything it schedules — e.g. ACK timers — cannot grow the queue
+// without bound.
+func (k *Kernel) maybeCompact() {
+	if k.canceledQueued <= compactThreshold || k.canceledQueued*2 <= len(k.heap) {
+		return
+	}
+	kept := k.heap[:0]
+	for _, idx := range k.heap {
+		if k.slots[idx].canceled {
+			k.release(idx)
+			continue
+		}
+		kept = append(kept, idx)
+	}
+	k.heap = kept
+	k.canceledQueued = 0
+	for i := (len(k.heap) - 2) / 4; i >= 0; i-- {
+		k.siftDown(i)
+	}
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -124,18 +290,30 @@ func (k *Kernel) Stop() { k.stopped = true }
 // before it).
 func (k *Kernel) Run(until Time) {
 	k.stopped = false
-	for len(k.queue) > 0 && !k.stopped {
-		next := k.queue[0]
-		if next.at > until {
+	for len(k.heap) > 0 && !k.stopped {
+		idx := k.heap[0]
+		s := &k.slots[idx]
+		if s.at > until {
 			break
 		}
-		heap.Pop(&k.queue)
-		if next.canceled {
+		k.heapPop()
+		if s.canceled {
+			k.canceledQueued--
+			k.release(idx)
 			continue
 		}
-		k.now = next.at
+		// Copy out before releasing: the slot is recycled before the
+		// callback runs, so the callback may reuse it (and may grow the
+		// arena, invalidating s).
+		at, fn, fnArg, arg := s.at, s.fn, s.fnArg, s.arg
+		k.release(idx)
+		k.now = at
 		k.processed++
-		next.fn()
+		if fn != nil {
+			fn()
+		} else {
+			fnArg(arg)
+		}
 	}
 	if until != Never && k.now < until {
 		k.now = until

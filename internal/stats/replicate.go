@@ -1,0 +1,111 @@
+package stats
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// This file is the replication engine behind every figure: independent
+// simulation runs (replications, and independent sweep points) are sharded
+// across a bounded worker pool. Determinism is by construction — each job is
+// addressed by its index, derives all randomness from its seed, and writes
+// only its own result slot; merging then walks the slots in index order, so
+// the output is byte-identical for any worker count.
+
+// Workers resolves a parallelism request: values <= 0 select GOMAXPROCS
+// (use all hardware threads), anything else is taken literally.
+func Workers(parallel int) int {
+	if parallel <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return parallel
+}
+
+// ForEach runs job(0..n-1) on up to Workers(parallel) goroutines and waits
+// for all of them. Jobs must be independent and must confine their writes to
+// per-index state. With one worker (or n == 1) it degrades to a plain loop
+// on the calling goroutine.
+func ForEach(n, parallel int, job func(i int)) {
+	workers := Workers(parallel)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			job(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				job(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Replicate runs fn for seeds 0..n-1, each invocation independent, sharded
+// over the worker pool, and returns the per-seed results in seed order.
+// Every figure of the evaluation aggregates such replications; determinism
+// comes from fn deriving all randomness from the seed.
+func Replicate(n, parallel int, fn func(seed uint64) float64) []float64 {
+	out := make([]float64, n)
+	ForEach(n, parallel, func(i int) { out[i] = fn(uint64(i)) })
+	return out
+}
+
+// ReplicateMany is Replicate for functions returning several named metrics;
+// it returns one Estimate per metric name, accumulated in seed order.
+func ReplicateMany(n, parallel int, fn func(seed uint64) map[string]float64) map[string]Estimate {
+	results := make([]map[string]float64, n)
+	ForEach(n, parallel, func(i int) { results[i] = fn(uint64(i)) })
+	return mergeRuns(results)
+}
+
+// ReplicateGrid shards a whole sweep — cells independent experiment points,
+// reps replications each — across one worker pool, so parallelism is not
+// throttled by the replication count of a single point (Quick mode runs only
+// 3 replications per point, far fewer than a modern machine has cores).
+// fn(cell, seed) must be independent across all (cell, seed) pairs; the
+// result is one Estimate per metric name per cell, merged in seed order.
+func ReplicateGrid(cells, reps, parallel int, fn func(cell int, seed uint64) map[string]float64) []map[string]Estimate {
+	results := make([]map[string]float64, cells*reps)
+	ForEach(cells*reps, parallel, func(i int) {
+		results[i] = fn(i/reps, uint64(i%reps))
+	})
+	out := make([]map[string]Estimate, cells)
+	for c := 0; c < cells; c++ {
+		out[c] = mergeRuns(results[c*reps : (c+1)*reps])
+	}
+	return out
+}
+
+// mergeRuns folds per-replication metric maps into Estimates, visiting the
+// replications in slice (seed) order so the accumulation is deterministic.
+func mergeRuns(results []map[string]float64) map[string]Estimate {
+	acc := make(map[string]*Running)
+	for _, m := range results {
+		for k, v := range m {
+			if acc[k] == nil {
+				acc[k] = &Running{}
+			}
+			acc[k].Add(v)
+		}
+	}
+	out := make(map[string]Estimate, len(acc))
+	for k, r := range acc {
+		out[k] = r.Estimate()
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachCoversAllIndicesOnce(t *testing.T) {
+	for _, parallel := range []int{1, 2, 7, 0} {
+		const n = 100
+		var hits [n]int32
+		ForEach(n, parallel, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("parallel=%d: index %d visited %d times", parallel, i, h)
+			}
+		}
+	}
+}
+
+func TestForEachEmptyAndSingle(t *testing.T) {
+	ForEach(0, 4, func(i int) { t.Fatal("job called for n=0") })
+	calls := 0
+	ForEach(1, 8, func(i int) { calls++ })
+	if calls != 1 {
+		t.Fatalf("n=1: job called %d times", calls)
+	}
+}
+
+func TestReplicateSeedOrder(t *testing.T) {
+	got := Replicate(8, 3, func(seed uint64) float64 { return float64(seed * seed) })
+	for i, v := range got {
+		if v != float64(i*i) {
+			t.Fatalf("result[%d] = %v, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestReplicateManyDeterministicAcrossParallelism(t *testing.T) {
+	fn := func(seed uint64) map[string]float64 {
+		return map[string]float64{
+			"a": math.Sin(float64(seed)),
+			"b": float64(seed) / 7,
+		}
+	}
+	want := ReplicateMany(13, 1, fn)
+	for _, parallel := range []int{2, 5, 0} {
+		got := ReplicateMany(13, parallel, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel=%d: estimates differ: %v vs %v", parallel, got, want)
+		}
+	}
+}
+
+func TestReplicateGridDeterministicAcrossParallelism(t *testing.T) {
+	fn := func(cell int, seed uint64) map[string]float64 {
+		return map[string]float64{"v": float64(cell)*100 + math.Cos(float64(seed))}
+	}
+	want := ReplicateGrid(5, 4, 1, fn)
+	for _, parallel := range []int{3, 16, 0} {
+		got := ReplicateGrid(5, 4, parallel, fn)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("parallel=%d: grid estimates differ", parallel)
+		}
+	}
+	// Welford accumulation in seed order: cell c sees seeds 0..3 exactly.
+	for c, est := range want {
+		var r Running
+		for seed := 0; seed < 4; seed++ {
+			r.Add(float64(c)*100 + math.Cos(float64(seed)))
+		}
+		if est["v"] != r.Estimate() {
+			t.Fatalf("cell %d merged out of seed order: %v vs %v", c, est["v"], r.Estimate())
+		}
+	}
+}
+
+func TestWorkers(t *testing.T) {
+	if Workers(3) != 3 {
+		t.Error("Workers(3) != 3")
+	}
+	if Workers(0) < 1 || Workers(-1) < 1 {
+		t.Error("Workers(<=0) must resolve to at least one worker")
+	}
+}

@@ -9,7 +9,6 @@ import (
 	"fmt"
 	"math"
 	"sort"
-	"sync"
 )
 
 // Running accumulates mean and variance incrementally (Welford's method).
@@ -185,65 +184,4 @@ func (s *Series) Quantile(q float64) float64 {
 		return vals[lo]
 	}
 	return vals[lo]*(1-frac) + vals[lo+1]*frac
-}
-
-// Replicate runs fn for seeds 0..n-1, each invocation independent, using up
-// to `parallel` goroutines (n when parallel <= 0), and returns the per-seed
-// results in seed order. Every figure of the evaluation aggregates such
-// replications; determinism comes from fn deriving all randomness from the
-// seed.
-func Replicate(n, parallel int, fn func(seed uint64) float64) []float64 {
-	out := make([]float64, n)
-	if parallel <= 0 || parallel > n {
-		parallel = n
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallel)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			out[i] = fn(uint64(i))
-		}(i)
-	}
-	wg.Wait()
-	return out
-}
-
-// ReplicateMany is Replicate for functions returning several named metrics;
-// it returns one Estimate per metric name.
-func ReplicateMany(n, parallel int, fn func(seed uint64) map[string]float64) map[string]Estimate {
-	results := make([]map[string]float64, n)
-	if parallel <= 0 || parallel > n {
-		parallel = n
-	}
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, parallel)
-	for i := 0; i < n; i++ {
-		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
-			defer wg.Done()
-			defer func() { <-sem }()
-			results[i] = fn(uint64(i))
-		}(i)
-	}
-	wg.Wait()
-
-	acc := make(map[string]*Running)
-	for _, m := range results {
-		for k, v := range m {
-			if acc[k] == nil {
-				acc[k] = &Running{}
-			}
-			acc[k].Add(v)
-		}
-	}
-	out := make(map[string]Estimate, len(acc))
-	for k, r := range acc {
-		out[k] = r.Estimate()
-	}
-	return out
 }

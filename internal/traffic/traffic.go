@@ -64,6 +64,9 @@ type Source struct {
 	// OnGenerate is called for every generated frame, before it is offered
 	// to the target. May be nil.
 	OnGenerate func(f *frame.Frame)
+	// Pool, when non-nil, supplies recycled frames (the MAC layer returns
+	// them once they leave its queue for good).
+	Pool *frame.Pool
 
 	generated int
 	seq       uint32
@@ -142,21 +145,22 @@ func (s *Source) emit() {
 	if mpdu <= 0 {
 		mpdu = DefaultDataMPDU
 	}
-	f := &frame.Frame{
-		Kind:      frame.Data,
-		Src:       s.Origin,
-		Dst:       s.FirstHop,
-		Origin:    s.Origin,
-		Sink:      s.Sink,
-		Seq:       *seq,
-		MPDUBytes: mpdu,
-		Tag:       s.Tag,
-		CreatedAt: s.Kernel.Now(),
-	}
+	f := s.Pool.Get()
+	f.Kind = frame.Data
+	f.Src = s.Origin
+	f.Dst = s.FirstHop
+	f.Origin = s.Origin
+	f.Sink = s.Sink
+	f.Seq = *seq
+	f.MPDUBytes = mpdu
+	f.Tag = s.Tag
+	f.CreatedAt = s.Kernel.Now()
 	if s.OnGenerate != nil {
 		s.OnGenerate(f)
 	}
-	s.Target.Enqueue(f)
+	if !s.Target.Enqueue(f) {
+		s.Pool.Put(f)
+	}
 }
 
 // BroadcastSource emits periodic one-hop broadcasts — the route-discovery
@@ -181,6 +185,8 @@ type BroadcastSource struct {
 	StartAt sim.Time
 	// OnGenerate is called for every generated frame. May be nil.
 	OnGenerate func(f *frame.Frame)
+	// Pool, when non-nil, supplies recycled frames.
+	Pool *frame.Pool
 
 	generated int
 	seq       uint32
@@ -223,18 +229,19 @@ func (b *BroadcastSource) emit() {
 	if mpdu <= 0 {
 		mpdu = 30
 	}
-	f := &frame.Frame{
-		Kind:      frame.RouteDiscovery,
-		Src:       b.Origin,
-		Dst:       frame.Broadcast,
-		Origin:    b.Origin,
-		Sink:      frame.Broadcast,
-		Seq:       b.seq,
-		MPDUBytes: mpdu,
-		CreatedAt: b.Kernel.Now(),
-	}
+	f := b.Pool.Get()
+	f.Kind = frame.RouteDiscovery
+	f.Src = b.Origin
+	f.Dst = frame.Broadcast
+	f.Origin = b.Origin
+	f.Sink = frame.Broadcast
+	f.Seq = b.seq
+	f.MPDUBytes = mpdu
+	f.CreatedAt = b.Kernel.Now()
 	if b.OnGenerate != nil {
 		b.OnGenerate(f)
 	}
-	b.Target.Enqueue(f)
+	if !b.Target.Enqueue(f) {
+		b.Pool.Put(f)
+	}
 }
