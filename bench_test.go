@@ -9,6 +9,7 @@ package qma_test
 //	go test -bench=. -benchmem
 
 import (
+	"fmt"
 	"io"
 	"testing"
 
@@ -166,6 +167,42 @@ func BenchmarkDSMESecond(b *testing.B) {
 	b.ReportAllocs()
 	if _, err := sc.Run(); err != nil {
 		b.Fatal(err)
+	}
+}
+
+// BenchmarkFactoryHallEventsPerSec measures end-to-end simulation throughput
+// on the large-scale factory-hall family: one simulated second per iteration
+// with low-rate traffic from every routed node, reporting kernel events per
+// wall-clock second. The three sizes pin the O(N + E) medium: events/s
+// should stay within the same order of magnitude from 100 to 10,000 nodes.
+func BenchmarkFactoryHallEventsPerSec(b *testing.B) {
+	for _, n := range []int{100, 1000, 10000} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			topo, err := qma.FactoryHall(n, 0, 42)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sc := &qma.Scenario{
+				Topology:        topo,
+				MAC:             qma.QMA,
+				Seed:            1,
+				DurationSeconds: float64(b.N),
+			}
+			for i := 0; i < topo.NumNodes(); i++ {
+				if i == topo.Sink() || !topo.HasRoute(i) {
+					continue
+				}
+				sc.Traffic = append(sc.Traffic,
+					qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: 0.2}}})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := sc.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Events)/b.Elapsed().Seconds(), "events/s")
+		})
 	}
 }
 

@@ -9,6 +9,7 @@ package markov
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"qma/internal/sim"
 )
@@ -51,20 +52,45 @@ func (c *Chain) Validate() error {
 	return nil
 }
 
+// newMatrix returns a rows×cols zero matrix whose rows view one flat
+// backing slice (two allocations instead of rows+1).
+func newMatrix(rows, cols int) [][]float64 {
+	backing := make([]float64, rows*cols)
+	m := make([][]float64, rows)
+	for i := range m {
+		m[i] = backing[i*cols : (i+1)*cols]
+	}
+	return m
+}
+
 // Fundamental computes N = (I−Q)⁻¹ by Gaussian elimination with partial
 // pivoting. It returns an error when I−Q is singular (the chain would never
-// be absorbed from some state).
+// be absorbed from some state). The returned rows share one backing slice.
 func (c *Chain) Fundamental() ([][]float64, error) {
 	t := len(c.Q)
+	aug := newMatrix(t, 2*t)
+	n := newMatrix(t, t)
+	if err := c.fundamentalInto(aug, n); err != nil {
+		return nil, err
+	}
+	return n, nil
+}
+
+// fundamentalInto computes N = (I−Q)⁻¹ into n, using aug (t×2t) as
+// elimination scratch. Both may hold stale values: every cell is rewritten.
+// Factoring the scratch out of Fundamental lets the Fig. 26 sweep reuse one
+// workspace across points instead of allocating ~54 objects per solve.
+func (c *Chain) fundamentalInto(aug, n [][]float64) error {
+	t := len(c.Q)
 	// Build the augmented matrix [I−Q | I].
-	a := make([][]float64, t)
+	a := aug
 	for i := 0; i < t; i++ {
-		a[i] = make([]float64, 2*t)
 		for j := 0; j < t; j++ {
 			a[i][j] = -c.Q[i][j]
 			if i == j {
 				a[i][j] += 1
 			}
+			a[i][t+j] = 0
 		}
 		a[i][t+i] = 1
 	}
@@ -77,7 +103,7 @@ func (c *Chain) Fundamental() ([][]float64, error) {
 			}
 		}
 		if math.Abs(a[pivot][col]) < 1e-12 {
-			return nil, fmt.Errorf("markov: I-Q is singular at column %d", col)
+			return fmt.Errorf("markov: I-Q is singular at column %d", col)
 		}
 		a[col], a[pivot] = a[pivot], a[col]
 		inv := 1 / a[col][col]
@@ -94,11 +120,10 @@ func (c *Chain) Fundamental() ([][]float64, error) {
 			}
 		}
 	}
-	n := make([][]float64, t)
-	for i := range n {
-		n[i] = append([]float64(nil), a[i][t:]...)
+	for i := 0; i < t; i++ {
+		copy(n[i], a[i][t:])
 	}
-	return n, nil
+	return nil
 }
 
 // ExpectedSteps computes S = N·1 (Eq. 12): ExpectedSteps()[i] is the
@@ -153,16 +178,26 @@ const HandshakeStates = 12
 // TX6–TX8. A message dropped after 3 retries restarts the whole handshake;
 // a successful notify absorbs into Success.
 func HandshakeChain(p float64) *Chain {
+	c := &Chain{
+		Q: newMatrix(HandshakeStates, HandshakeStates),
+		R: newMatrix(HandshakeStates, 1),
+	}
+	fillHandshakeChain(c, p)
+	return c
+}
+
+// fillHandshakeChain writes the Eq. 10 transition probabilities into the
+// (possibly reused) matrices of c.
+func fillHandshakeChain(c *Chain, p float64) {
 	if p < 0 || p > 1 {
 		panic(fmt.Sprintf("markov: p=%v out of [0,1]", p))
 	}
-	q := make([][]float64, HandshakeStates)
+	q, r := c.Q, c.R
 	for i := range q {
-		q[i] = make([]float64, HandshakeStates)
-	}
-	r := make([][]float64, HandshakeStates)
-	for i := range r {
-		r[i] = make([]float64, 1)
+		for j := range q[i] {
+			q[i][j] = 0
+		}
+		r[i][0] = 0
 	}
 	f := 1 - p
 	// Request chain: success moves to the response (state 1), failure walks
@@ -185,22 +220,52 @@ func HandshakeChain(p float64) *Chain {
 	r[10][0] = p
 	q[11][0] = f
 	r[11][0] = p
-	return &Chain{Q: q, R: r}
+}
+
+// handshakeWorkspace bundles every buffer one Eq. 12 evaluation needs, so a
+// sweep over p (Fig. 26) performs zero heap allocations in steady state.
+type handshakeWorkspace struct {
+	chain Chain
+	aug   [][]float64
+	n     [][]float64
+}
+
+var handshakePool = sync.Pool{
+	New: func() any {
+		return &handshakeWorkspace{
+			chain: Chain{
+				Q: newMatrix(HandshakeStates, HandshakeStates),
+				R: newMatrix(HandshakeStates, 1),
+			},
+			aug: newMatrix(HandshakeStates, 2*HandshakeStates),
+			n:   newMatrix(HandshakeStates, HandshakeStates),
+		}
+	},
 }
 
 // ExpectedHandshakeMessages reports the expected number of transmitted
 // messages until a 3-way handshake completes, computed from the fundamental
 // matrix of the Eq. 10 chain (the Fig. 26 curve). It panics only on p
-// outside [0,1]; p=0 returns +Inf.
+// outside [0,1]; p=0 returns +Inf. The solve runs on a pooled workspace and
+// performs no heap allocations in steady state (safe for concurrent use —
+// each caller takes its own workspace).
 func ExpectedHandshakeMessages(p float64) float64 {
 	if p == 0 {
 		return math.Inf(1)
 	}
-	s, err := HandshakeChain(p).ExpectedSteps()
-	if err != nil {
+	ws := handshakePool.Get().(*handshakeWorkspace)
+	defer handshakePool.Put(ws)
+	fillHandshakeChain(&ws.chain, p)
+	if err := ws.chain.fundamentalInto(ws.aug, ws.n); err != nil {
 		return math.Inf(1)
 	}
-	return s[0]
+	// Only the start state's expectation is needed: ExpectedSteps()[0] is
+	// the sum of the fundamental matrix's first row (same summation order).
+	s0 := 0.0
+	for _, v := range ws.n[0] {
+		s0 += v
+	}
+	return s0
 }
 
 // ExpectedHandshakeMessagesClosedForm derives the same quantity without

@@ -57,6 +57,12 @@ type NodeStats struct {
 
 // Medium is the shared wireless channel. It is bound to one simulation
 // kernel and is not safe for concurrent use.
+//
+// Memory is O(N + E): the decode and sense link sets are materialized once
+// at construction as CSR-style flattened arrays (one shared backing slice
+// plus per-node offsets), and clear channel assessment reads a per-node,
+// per-channel busy counter maintained incrementally at transmission
+// start/end instead of scanning the set of ongoing transmissions.
 type Medium struct {
 	k    *sim.Kernel
 	topo Topology
@@ -74,51 +80,96 @@ type Medium struct {
 	rxCount []int
 	// inflight[i] are the transmissions currently decodable at node i.
 	inflight [][]*transmission
-	// active is the set of all ongoing transmissions (for CCA).
-	active []*transmission
 
-	// decodeNbrs[i] / senseNbrs[i] are precomputed neighbour lists.
-	decodeNbrs [][]frame.NodeID
-	senseNbrs  [][]bool // senseNbrs[src][dst]
+	// decodeArr/decodeOff and senseArr/senseOff are the CSR link arrays:
+	// node i's decode-neighbours are decodeArr[decodeOff[i]:decodeOff[i+1]]
+	// (ascending), and analogously the nodes whose CCA senses i's
+	// transmissions. Sense links follow the transmit direction: senseArr
+	// under src lists the dst with topo.CanSense(src, dst).
+	decodeArr []frame.NodeID
+	decodeOff []int32
+	senseArr  []frame.NodeID
+	senseOff  []int32
+
+	// busy[i][ch] counts ongoing transmissions a CCA at node i on channel ch
+	// detects. Inner slices grow to the highest channel actually used at i.
+	busy [][]int32
 
 	// txPool recycles transmission structs; endTXFn is the long-lived
 	// callback StartTX schedules through Kernel.AtCall so ending a
-	// transmission needs no per-call closure.
-	txPool  []*transmission
-	endTXFn func(any)
+	// transmission needs no per-call closure. busyEndFn retires the busy
+	// counters via AtCallEarly: it runs before every normal event sharing
+	// the end timestamp, so a CCA at exactly t.end already sees the channel
+	// clear — the same half-open [start, end) semantics the former scan over
+	// the active set implemented with its strict `end > now` check.
+	txPool    []*transmission
+	endTXFn   func(any)
+	busyEndFn func(any)
 }
 
 // NewMedium builds a medium over the given topology. rng drives
 // probabilistic link loss and must be private to this medium.
+//
+// When topo implements LinkEnumerator (both built-in topologies do),
+// construction enumerates each node's candidate links directly and runs in
+// O(N + E); otherwise it falls back to probing all N² ordered pairs.
 func NewMedium(k *sim.Kernel, topo Topology, rng *sim.Rand) *Medium {
 	n := topo.NumNodes()
 	m := &Medium{
-		k:          k,
-		topo:       topo,
-		rng:        rng,
-		handlers:   make([]Handler, n),
-		stats:      make([]NodeStats, n),
-		tuned:      make([]uint8, n),
-		txUntil:    make([]sim.Time, n),
-		rxCount:    make([]int, n),
-		inflight:   make([][]*transmission, n),
-		decodeNbrs: make([][]frame.NodeID, n),
-		senseNbrs:  make([][]bool, n),
+		k:         k,
+		topo:      topo,
+		rng:       rng,
+		handlers:  make([]Handler, n),
+		stats:     make([]NodeStats, n),
+		tuned:     make([]uint8, n),
+		txUntil:   make([]sim.Time, n),
+		rxCount:   make([]int, n),
+		inflight:  make([][]*transmission, n),
+		decodeOff: make([]int32, n+1),
+		senseOff:  make([]int32, n+1),
+		busy:      make([][]int32, n),
 	}
-	for src := 0; src < n; src++ {
-		m.senseNbrs[src] = make([]bool, n)
-		for dst := 0; dst < n; dst++ {
-			if src == dst {
+	// classify answers both predicates; the LinkClassifier fast path pays a
+	// single RSSI computation per candidate pair.
+	classify := func(src, dst frame.NodeID) (bool, bool) {
+		return topo.CanDecode(src, dst), topo.CanSense(src, dst)
+	}
+	if cl, ok := topo.(LinkClassifier); ok {
+		classify = cl.ClassifyLink
+	}
+	appendLinks := func(src frame.NodeID, candidates []frame.NodeID) {
+		for _, dst := range candidates {
+			if dst == src {
 				continue
 			}
-			s, d := frame.NodeID(src), frame.NodeID(dst)
-			if topo.CanDecode(s, d) {
-				m.decodeNbrs[src] = append(m.decodeNbrs[src], d)
+			decode, sense := classify(src, dst)
+			if decode {
+				m.decodeArr = append(m.decodeArr, dst)
 			}
-			m.senseNbrs[src][dst] = topo.CanSense(s, d)
+			if sense {
+				m.senseArr = append(m.senseArr, dst)
+			}
+		}
+		m.decodeOff[src+1] = int32(len(m.decodeArr))
+		m.senseOff[src+1] = int32(len(m.senseArr))
+	}
+	if enum, ok := topo.(LinkEnumerator); ok {
+		var buf []frame.NodeID
+		for src := 0; src < n; src++ {
+			buf = enum.AppendLinks(frame.NodeID(src), buf[:0])
+			appendLinks(frame.NodeID(src), buf)
+		}
+	} else {
+		all := make([]frame.NodeID, n)
+		for i := range all {
+			all[i] = frame.NodeID(i)
+		}
+		for src := 0; src < n; src++ {
+			appendLinks(frame.NodeID(src), all)
 		}
 	}
 	m.endTXFn = func(a any) { m.endTX(a.(*transmission)) }
+	m.busyEndFn = func(a any) { m.busyEnd(a.(*transmission)) }
 	return m
 }
 
@@ -154,14 +205,13 @@ func (m *Medium) Receiving(id frame.NodeID) bool { return m.rxCount[id] > 0 }
 // CCA performs a clear channel assessment at node id and reports true when
 // the channel the node is tuned to is clear. Busy means some ongoing
 // same-channel transmission is above the node's energy-detection threshold.
-// A node must not CCA while transmitting.
+// The check is O(1): it reads the per-node busy counter maintained by
+// StartTX/busyEnd. A node must not CCA while transmitting.
 func (m *Medium) CCA(id frame.NodeID) bool {
 	m.stats[id].CCACount++
-	for _, t := range m.active {
-		if t.end > m.k.Now() && t.channel == m.tuned[id] && m.senseNbrs[t.src][id] {
-			m.stats[id].CCABusy++
-			return false
-		}
+	if ch := int(m.tuned[id]); ch < len(m.busy[id]) && m.busy[id][ch] > 0 {
+		m.stats[id].CCABusy++
+		return false
 	}
 	return true
 }
@@ -169,7 +219,7 @@ func (m *Medium) CCA(id frame.NodeID) bool {
 // StartTX puts f on the air from src and returns the transmission end time.
 // The caller (MAC) is responsible for scheduling its own post-TX logic (ACK
 // waits etc). Panics if src is already transmitting — MAC engines must
-// serialize their own transmissions.
+// serialize their own transmissions. Cost is O(degree of src).
 func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	now := m.k.Now()
 	if m.txUntil[src] > now {
@@ -191,13 +241,19 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	// synchronize on it (eligibility is captured at the start; a receiver
 	// retuning mid-flight loses the frame through the end-of-transmission
 	// tuning check instead).
-	for _, r := range m.decodeNbrs[src] {
+	for _, r := range m.decodeArr[m.decodeOff[src]:m.decodeOff[src+1]] {
 		if m.tuned[r] == f.Channel {
 			t.receivers = append(t.receivers, r)
 			t.corrupt = append(t.corrupt, false)
 		}
 	}
-	m.active = append(m.active, t)
+
+	// Raise the busy counters at every node that senses src, on the frame's
+	// channel; busyEnd lowers them again just before the end timestamp's
+	// normal events run.
+	for _, r := range m.senseArr[m.senseOff[src]:m.senseOff[src+1]] {
+		m.busyAdd(r, f.Channel, 1)
+	}
 
 	// A transmitter cannot receive: corrupt everything in flight at src.
 	m.corruptAllAt(src)
@@ -216,8 +272,28 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 		m.inflight[r] = append(m.inflight[r], t)
 	}
 
+	m.k.AtCallEarly(end, m.busyEndFn, t)
 	m.k.AtCall(end, m.endTXFn, t)
 	return end
+}
+
+// busyAdd adjusts node id's busy counter for ch, growing the per-node
+// channel slice on first use of a high channel.
+func (m *Medium) busyAdd(id frame.NodeID, ch uint8, delta int32) {
+	b := m.busy[id]
+	for int(ch) >= len(b) {
+		b = append(b, 0)
+	}
+	b[ch] += delta
+	m.busy[id] = b
+}
+
+// busyEnd lowers the busy counters a transmission raised. It runs as an
+// early event at t.end, before endTX and before any same-timestamp CCA.
+func (m *Medium) busyEnd(t *transmission) {
+	for _, r := range m.senseArr[m.senseOff[t.src]:m.senseOff[t.src+1]] {
+		m.busy[r][t.channel]--
+	}
 }
 
 // getTransmission takes a transmission from the pool, retaining its slices'
@@ -253,15 +329,6 @@ func (m *Medium) corruptAllAt(id frame.NodeID) {
 // endTX finalizes a transmission: removes it from the air and delivers it to
 // every receiver whose copy survived.
 func (m *Medium) endTX(t *transmission) {
-	// Remove from active set.
-	for i, a := range m.active {
-		if a == t {
-			m.active[i] = m.active[len(m.active)-1]
-			m.active[len(m.active)-1] = nil
-			m.active = m.active[:len(m.active)-1]
-			break
-		}
-	}
 	for i, r := range t.receivers {
 		m.rxCount[r]--
 		m.removeInflight(r, t)
@@ -302,7 +369,13 @@ func (m *Medium) removeInflight(id frame.NodeID, t *transmission) {
 }
 
 // DecodeNeighbors returns the ids that can decode transmissions from src
-// (shared slice; callers must not mutate).
+// in ascending order (a view into the CSR array; callers must not mutate).
 func (m *Medium) DecodeNeighbors(src frame.NodeID) []frame.NodeID {
-	return m.decodeNbrs[src]
+	return m.decodeArr[m.decodeOff[src]:m.decodeOff[src+1]]
+}
+
+// SenseNeighbors returns the ids whose CCA detects transmissions from src,
+// ascending (a view into the CSR array; callers must not mutate).
+func (m *Medium) SenseNeighbors(src frame.NodeID) []frame.NodeID {
+	return m.senseArr[m.senseOff[src]:m.senseOff[src+1]]
 }

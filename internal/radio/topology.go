@@ -8,6 +8,7 @@ package radio
 
 import (
 	"math"
+	"slices"
 
 	"qma/internal/frame"
 )
@@ -29,26 +30,50 @@ type Topology interface {
 	DeliveryProb(src, dst frame.NodeID) float64
 }
 
+// LinkEnumerator is implemented by topologies that can enumerate a node's
+// potential links directly instead of being probed over all N² ordered
+// pairs. AppendLinks appends every dst (ascending, src excluded) for which
+// CanDecode(src, dst) or CanSense(src, dst) may hold to buf and returns the
+// extended slice; consumers filter the candidates through the exact
+// predicates, so a superset is permitted. The buffer is caller-owned
+// (callers pass buf[:0] to reuse it across nodes), which keeps the topology
+// itself stateless and therefore safe to share across the goroutines of the
+// parallel replication engine. Both built-in topologies implement the
+// interface, which is what keeps Medium construction (and memory) O(N + E).
+type LinkEnumerator interface {
+	AppendLinks(src frame.NodeID, buf []frame.NodeID) []frame.NodeID
+}
+
+// LinkClassifier is an optional fast path next to LinkEnumerator: one call
+// evaluates both link predicates, letting consumers that need decode and
+// sense classification (the Medium's CSR build) pay one RSSI computation
+// per candidate pair instead of two. Implementations must agree exactly
+// with CanDecode/CanSense.
+type LinkClassifier interface {
+	ClassifyLink(src, dst frame.NodeID) (decode, sense bool)
+}
+
 // GraphTopology is an explicit connectivity graph: node i hears exactly the
 // nodes in its adjacency set. Decode and sense sets coincide and links are
-// lossless unless LossProb is set.
+// lossless unless LossProb is set. Adjacency is stored as per-node sorted
+// slices (not hash sets), so neighbor enumeration is allocation-free and
+// deterministic.
 type GraphTopology struct {
 	n   int
-	adj []map[frame.NodeID]bool
+	adj [][]frame.NodeID
 	// LossProb is an optional independent per-frame loss probability applied
 	// to every link (0 = ideal).
 	LossProb float64
 }
 
-var _ Topology = (*GraphTopology)(nil)
+var (
+	_ Topology       = (*GraphTopology)(nil)
+	_ LinkEnumerator = (*GraphTopology)(nil)
+)
 
 // NewGraphTopology returns a graph over n nodes with no edges.
 func NewGraphTopology(n int) *GraphTopology {
-	adj := make([]map[frame.NodeID]bool, n)
-	for i := range adj {
-		adj[i] = make(map[frame.NodeID]bool)
-	}
-	return &GraphTopology{n: n, adj: adj}
+	return &GraphTopology{n: n, adj: make([][]frame.NodeID, n)}
 }
 
 // AddLink adds a bidirectional edge between a and b.
@@ -56,8 +81,17 @@ func (g *GraphTopology) AddLink(a, b frame.NodeID) {
 	if a == b {
 		return
 	}
-	g.adj[a][b] = true
-	g.adj[b][a] = true
+	g.insert(a, b)
+	g.insert(b, a)
+}
+
+// insert adds dst to src's sorted adjacency slice (no-op when present).
+func (g *GraphTopology) insert(src, dst frame.NodeID) {
+	i, found := slices.BinarySearch(g.adj[src], dst)
+	if found {
+		return
+	}
+	g.adj[src] = slices.Insert(g.adj[src], i, dst)
 }
 
 // NumNodes implements Topology.
@@ -65,7 +99,11 @@ func (g *GraphTopology) NumNodes() int { return g.n }
 
 // CanDecode implements Topology.
 func (g *GraphTopology) CanDecode(src, dst frame.NodeID) bool {
-	return src != dst && g.adj[src][dst]
+	if src == dst {
+		return false
+	}
+	_, found := slices.BinarySearch(g.adj[src], dst)
+	return found
 }
 
 // CanSense implements Topology.
@@ -78,14 +116,22 @@ func (g *GraphTopology) DeliveryProb(src, dst frame.NodeID) float64 {
 	return 1 - g.LossProb
 }
 
-// Neighbors returns the adjacency set of id (shared; callers must not
-// mutate).
+// Neighbors returns the adjacency list of id in ascending order. The slice
+// is the topology's own storage — callers must not mutate it; it remains
+// valid until the next AddLink touching id.
 func (g *GraphTopology) Neighbors(id frame.NodeID) []frame.NodeID {
-	out := make([]frame.NodeID, 0, len(g.adj[id]))
-	for n := range g.adj[id] {
-		out = append(out, n)
-	}
-	return out
+	return g.adj[id]
+}
+
+// AppendLinks implements LinkEnumerator (decode and sense sets coincide).
+func (g *GraphTopology) AppendLinks(src frame.NodeID, buf []frame.NodeID) []frame.NodeID {
+	return append(buf, g.adj[src]...)
+}
+
+// ClassifyLink implements LinkClassifier with a single adjacency lookup.
+func (g *GraphTopology) ClassifyLink(src, dst frame.NodeID) (decode, sense bool) {
+	d := g.CanDecode(src, dst)
+	return d, d
 }
 
 // Position is a planar node coordinate in meters.
@@ -136,51 +182,201 @@ func DefaultPathLossConfig() PathLossConfig {
 	}
 }
 
+// maxShadowGainDB bounds |shadow| for any link: Box–Muller with
+// u1 >= 0.5/2³² and |cos| <= 1 yields at most sqrt(-2·ln(0.5/2³²)) ≈ 6.764
+// standard deviations, so link budgets (and therefore neighbor ranges) stay
+// finite even with shadowing enabled.
+var maxShadowGainDB = math.Sqrt(-2 * math.Log(0.5/(1<<32)))
+
 // PathLossTopology derives connectivity from node positions and a
 // log-distance path-loss law with optional frozen shadowing.
+//
+// Memory is O(N): RSSI is a pure function of the two positions (plus the
+// frozen per-pair shadowing draw) and is computed on demand instead of being
+// materialized as an N×N matrix. Neighbor enumeration uses a uniform spatial
+// grid over the positions — a range-bounded cell query — so building a
+// Medium over the topology costs O(N + E) instead of O(N²).
 type PathLossTopology struct {
 	cfg PathLossConfig
 	pos []Position
-	// rssi[src][dst] is the received power in dBm.
-	rssi [][]float64
+
+	// maxRange is the largest distance at which any link predicate can hold,
+	// from the link budget plus the maximum shadowing gain.
+	maxRange float64
+
+	// Uniform grid in CSR form: node ids sorted by cell, cellOff[c] ..
+	// cellOff[c+1] indexing cellNodes. reach is the number of neighboring
+	// cells (per axis, each direction) a range query must visit: 1 when the
+	// cell edge is >= maxRange, more when the cell edge was floored to keep
+	// the cell count O(N).
+	minX, minY float64
+	cell       float64
+	nx, ny     int
+	reach      int
+	cellOff    []int32
+	cellNodes  []frame.NodeID
 }
 
-var _ Topology = (*PathLossTopology)(nil)
+var (
+	_ Topology       = (*PathLossTopology)(nil)
+	_ LinkEnumerator = (*PathLossTopology)(nil)
+	_ LinkClassifier = (*PathLossTopology)(nil)
+	_ LinkClassifier = (*GraphTopology)(nil)
+)
 
-// NewPathLossTopology computes the link matrix for the given positions.
+// NewPathLossTopology indexes the given positions for neighbor queries.
+// Unlike the original dense implementation it allocates O(N), not O(N²):
+// a 10,000-node hall costs a few hundred kilobytes instead of 800 MB.
 func NewPathLossTopology(cfg PathLossConfig, positions []Position) *PathLossTopology {
-	n := len(positions)
-	t := &PathLossTopology{cfg: cfg, pos: positions, rssi: make([][]float64, n)}
-	// Frozen symmetric shadowing per unordered pair.
-	shadow := func(a, b int) float64 {
-		if cfg.ShadowSigmaDB == 0 {
-			return 0
-		}
-		if a > b {
-			a, b = b, a
-		}
-		h := splitmixPair(cfg.ShadowSeed, uint64(a), uint64(b))
-		// Convert two 32-bit halves to a normal via Box–Muller.
-		u1 := (float64(h>>32) + 0.5) / (1 << 32)
-		u2 := (float64(uint32(h)) + 0.5) / (1 << 32)
-		return cfg.ShadowSigmaDB * math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	t := &PathLossTopology{cfg: cfg, pos: positions}
+	t.maxRange = t.rangeBound()
+	t.buildGrid()
+	return t
+}
+
+// rangeBound computes the largest distance at which CanDecode or CanSense
+// can possibly hold. The weaker of the two thresholds bounds both (the CCA
+// margin may in principle be negative), and the frozen shadowing draw is
+// bounded by maxShadowGainDB standard deviations.
+func (t *PathLossTopology) rangeBound() float64 {
+	threshold := t.cfg.SensitivityDBm
+	if m := t.cfg.SensitivityDBm + t.cfg.CCAMarginDB; m < threshold {
+		threshold = m
 	}
-	for i := 0; i < n; i++ {
-		t.rssi[i] = make([]float64, n)
-		for j := 0; j < n; j++ {
-			if i == j {
-				t.rssi[i][j] = math.Inf(1)
+	budget := t.cfg.TxPowerDBm - t.cfg.ReferenceLossDB - threshold
+	if t.cfg.ShadowSigmaDB != 0 {
+		budget += math.Abs(t.cfg.ShadowSigmaDB) * maxShadowGainDB
+	}
+	if t.cfg.PathLossExponent <= 0 {
+		return math.Inf(1)
+	}
+	d := math.Pow(10, budget/(10*t.cfg.PathLossExponent))
+	// Distances are clamped to 0.1 m in rssi, so never query below that, and
+	// inflate slightly so float rounding in Distance cannot drop a node that
+	// sits exactly on the threshold circle.
+	return math.Max(d, 0.1) * (1 + 1e-9)
+}
+
+// buildGrid sorts the nodes into a uniform grid. Cell-size heuristic: the
+// cell edge equals maxRange (so a query visits only the 3×3 block around the
+// source), floored just enough that the grid never exceeds ~4·N cells when
+// the radio range is small relative to the deployment area; in that regime a
+// query widens to the (2·reach+1)² block instead.
+func (t *PathLossTopology) buildGrid() {
+	n := len(t.pos)
+	if n == 0 {
+		t.cell, t.nx, t.ny, t.reach = 1, 1, 1, 1
+		t.cellOff = make([]int32, 2)
+		return
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, p := range t.pos {
+		minX, maxX = math.Min(minX, p.X), math.Max(maxX, p.X)
+		minY, maxY = math.Min(minY, p.Y), math.Max(maxY, p.Y)
+	}
+	w, h := maxX-minX, maxY-minY
+	cell := t.maxRange
+	if math.IsInf(cell, 1) {
+		cell = math.Max(math.Max(w, h), 1)
+	}
+	// Floor the cell edge so nx*ny stays O(N) even when the range is tiny
+	// relative to the area: at most ~4N cells.
+	if floor := math.Sqrt(w * h / (4 * float64(n))); cell < floor {
+		cell = floor
+	}
+	t.minX, t.minY, t.cell = minX, minY, cell
+	t.nx = int(w/cell) + 1
+	t.ny = int(h/cell) + 1
+	if math.IsInf(t.maxRange, 1) {
+		t.reach = t.nx + t.ny // covers the whole grid
+	} else {
+		t.reach = int(math.Ceil(t.maxRange / cell))
+	}
+	if t.reach < 1 {
+		t.reach = 1
+	}
+	// Counting sort into CSR: offsets, then fill.
+	cells := t.nx * t.ny
+	t.cellOff = make([]int32, cells+1)
+	for _, p := range t.pos {
+		t.cellOff[t.cellIndex(p)+1]++
+	}
+	for c := 0; c < cells; c++ {
+		t.cellOff[c+1] += t.cellOff[c]
+	}
+	t.cellNodes = make([]frame.NodeID, n)
+	next := make([]int32, cells)
+	for id, p := range t.pos {
+		c := t.cellIndex(p)
+		t.cellNodes[t.cellOff[c]+next[c]] = frame.NodeID(id)
+		next[c]++
+	}
+}
+
+// cellIndex maps a position to its grid cell.
+func (t *PathLossTopology) cellIndex(p Position) int {
+	cx := int((p.X - t.minX) / t.cell)
+	cy := int((p.Y - t.minY) / t.cell)
+	if cx >= t.nx {
+		cx = t.nx - 1
+	}
+	if cy >= t.ny {
+		cy = t.ny - 1
+	}
+	return cy*t.nx + cx
+}
+
+// AppendLinks implements LinkEnumerator: all nodes within maxRange of src,
+// found by scanning the grid cells that can intersect the range disk,
+// appended to buf in ascending id order. The topology holds no scratch of
+// its own, so concurrent calls (parallel replications sharing one topology)
+// are safe as long as each caller owns its buffer.
+func (t *PathLossTopology) AppendLinks(src frame.NodeID, buf []frame.NodeID) []frame.NodeID {
+	out := buf
+	start := len(out)
+	p := t.pos[src]
+	cx := int((p.X - t.minX) / t.cell)
+	cy := int((p.Y - t.minY) / t.cell)
+	if cx >= t.nx {
+		cx = t.nx - 1
+	}
+	if cy >= t.ny {
+		cy = t.ny - 1
+	}
+	for dy := -t.reach; dy <= t.reach; dy++ {
+		y := cy + dy
+		if y < 0 || y >= t.ny {
+			continue
+		}
+		for dx := -t.reach; dx <= t.reach; dx++ {
+			x := cx + dx
+			if x < 0 || x >= t.nx {
 				continue
 			}
-			d := positions[i].Distance(positions[j])
-			if d < 0.1 {
-				d = 0.1
+			c := y*t.nx + x
+			for _, id := range t.cellNodes[t.cellOff[c]:t.cellOff[c+1]] {
+				if id == src {
+					continue
+				}
+				if p.Distance(t.pos[id]) <= t.maxRange {
+					out = append(out, id)
+				}
 			}
-			pl := cfg.ReferenceLossDB + 10*cfg.PathLossExponent*math.Log10(d)
-			t.rssi[i][j] = cfg.TxPowerDBm - pl + shadow(i, j)
 		}
 	}
-	return t
+	slices.Sort(out[start:])
+	return out
+}
+
+// ClassifyLink implements LinkClassifier: one RSSI computation answers both
+// predicates (identical comparisons to CanDecode/CanSense).
+func (t *PathLossTopology) ClassifyLink(src, dst frame.NodeID) (decode, sense bool) {
+	if src == dst {
+		return false, false
+	}
+	rssi := t.RSSI(src, dst)
+	return rssi >= t.cfg.SensitivityDBm, rssi >= t.cfg.SensitivityDBm+t.cfg.CCAMarginDB
 }
 
 func splitmixPair(seed, a, b uint64) uint64 {
@@ -191,20 +387,48 @@ func splitmixPair(seed, a, b uint64) uint64 {
 	return x ^ (x >> 31)
 }
 
+// shadow is the frozen symmetric shadowing realization for the unordered
+// pair (a, b), in dB.
+func (t *PathLossTopology) shadow(a, b int) float64 {
+	if t.cfg.ShadowSigmaDB == 0 {
+		return 0
+	}
+	if a > b {
+		a, b = b, a
+	}
+	h := splitmixPair(t.cfg.ShadowSeed, uint64(a), uint64(b))
+	// Convert two 32-bit halves to a normal via Box–Muller.
+	u1 := (float64(h>>32) + 0.5) / (1 << 32)
+	u2 := (float64(uint32(h)) + 0.5) / (1 << 32)
+	return t.cfg.ShadowSigmaDB * math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
 // NumNodes implements Topology.
 func (t *PathLossTopology) NumNodes() int { return len(t.pos) }
 
 // RSSI reports the received power at dst for a transmission by src, in dBm.
-func (t *PathLossTopology) RSSI(src, dst frame.NodeID) float64 { return t.rssi[src][dst] }
+// It is computed on demand from the positions and the frozen shadowing draw
+// (bit-identical to the former precomputed matrix).
+func (t *PathLossTopology) RSSI(src, dst frame.NodeID) float64 {
+	if src == dst {
+		return math.Inf(1)
+	}
+	d := t.pos[src].Distance(t.pos[dst])
+	if d < 0.1 {
+		d = 0.1
+	}
+	pl := t.cfg.ReferenceLossDB + 10*t.cfg.PathLossExponent*math.Log10(d)
+	return t.cfg.TxPowerDBm - pl + t.shadow(int(src), int(dst))
+}
 
 // CanDecode implements Topology.
 func (t *PathLossTopology) CanDecode(src, dst frame.NodeID) bool {
-	return src != dst && t.rssi[src][dst] >= t.cfg.SensitivityDBm
+	return src != dst && t.RSSI(src, dst) >= t.cfg.SensitivityDBm
 }
 
 // CanSense implements Topology.
 func (t *PathLossTopology) CanSense(src, dst frame.NodeID) bool {
-	return src != dst && t.rssi[src][dst] >= t.cfg.SensitivityDBm+t.cfg.CCAMarginDB
+	return src != dst && t.RSSI(src, dst) >= t.cfg.SensitivityDBm+t.cfg.CCAMarginDB
 }
 
 // DeliveryProb implements Topology.

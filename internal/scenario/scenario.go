@@ -189,6 +189,9 @@ type Result struct {
 	Clock *superframe.Clock
 	// Duration is the simulated time actually run.
 	Duration sim.Time
+	// Events is the number of kernel events the run processed — the
+	// denominator for events/second throughput reporting.
+	Events uint64
 }
 
 // NetworkPDR reports total delivered / total generated evaluation packets
@@ -487,6 +490,7 @@ func (r *run) armSampler() {
 
 // collect copies the end-of-run counters into the result.
 func (r *run) collect() {
+	r.result.Events = r.kernel.Processed()
 	for i, e := range r.engines {
 		node := &r.result.Nodes[i]
 		node.MAC = e.Base().Stats()

@@ -1,11 +1,18 @@
-package sim
+package sim_test
 
-import "testing"
+import (
+	"testing"
+
+	"qma/internal/markov"
+	. "qma/internal/sim"
+)
 
 // The event arena and freelist exist so the hot loop performs no heap
 // allocations; these tests pin that property so a refactor cannot silently
 // reintroduce per-event garbage (BenchmarkKernelEvent reports the same
-// number, but only when someone reads the bench output).
+// number, but only when someone reads the bench output). The file is an
+// external test package so it can also pin allocation-free behaviour of
+// packages that themselves import sim (markov below).
 
 func TestScheduleRunSteadyStateDoesNotAllocate(t *testing.T) {
 	k := NewKernel()
@@ -51,5 +58,36 @@ func TestCancelSteadyStateDoesNotAllocate(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Errorf("schedule+cancel cycle allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+func TestAtCallEarlySteadyStateDoesNotAllocate(t *testing.T) {
+	k := NewKernel()
+	fn := func(any) {}
+	k.AtCallEarly(k.Now()+1, fn, nil)
+	k.Run(k.Now() + 1)
+	allocs := testing.AllocsPerRun(1000, func() {
+		k.AtCallEarly(k.Now()+1, fn, nil)
+		k.Run(k.Now() + 1)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state AtCallEarly+Run allocates %.1f objects per event, want 0", allocs)
+	}
+}
+
+func TestExpectedHandshakeMessagesDoesNotAllocate(t *testing.T) {
+	// The Eq. 12 solve runs on a pooled workspace; a sweep over p (the
+	// Fig. 26 curve, BenchmarkHandshakeMatrix) must not allocate per point.
+	if raceEnabled {
+		t.Skip("sync.Pool allocates under the race detector")
+	}
+	markov.ExpectedHandshakeMessages(0.5) // warm the pool
+	allocs := testing.AllocsPerRun(200, func() {
+		if markov.ExpectedHandshakeMessages(0.5) < 3 {
+			t.Fatal("impossible expectation")
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("ExpectedHandshakeMessages allocates %.1f objects per solve, want 0", allocs)
 	}
 }

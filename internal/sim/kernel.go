@@ -82,6 +82,9 @@ type eventSlot struct {
 	arg      any
 	gen      uint32
 	canceled bool
+	// early events fire before every normal event sharing their timestamp,
+	// regardless of scheduling order (see AtCallEarly).
+	early bool
 }
 
 // Kernel is a sequential discrete event simulator. It is not safe for
@@ -158,6 +161,27 @@ func (k *Kernel) AtCall(t Time, fn func(arg any), arg any) EventID {
 	return EventID{k: k, idx: idx, gen: s.gen}
 }
 
+// AtCallEarly is AtCall for state-expiry bookkeeping: the event fires at t
+// before every normal event scheduled for the same instant, regardless of
+// scheduling order. Simulation layers use it to retire state whose validity
+// interval is half-open [start, t) — e.g. the radio medium's channel-busy
+// counters — so that a normal event executing exactly at t already observes
+// the state as expired. Early events must not have observable side effects
+// beyond such bookkeeping: among themselves they still fire in scheduling
+// order, but their position relative to normal events differs from plain
+// AtCall.
+func (k *Kernel) AtCallEarly(t Time, fn func(arg any), arg any) EventID {
+	if fn == nil {
+		panic("sim: nil event function")
+	}
+	idx, s := k.alloc(t)
+	s.fnArg = fn
+	s.arg = arg
+	s.early = true
+	k.heapPush(idx)
+	return EventID{k: k, idx: idx, gen: s.gen}
+}
+
 // alloc takes a slot from the freelist (or grows the arena), stamps it with
 // t and the next sequence number and returns it. The returned pointer is
 // only valid until the next alloc.
@@ -179,6 +203,7 @@ func (k *Kernel) alloc(t Time) (uint32, *eventSlot) {
 	s.seq = k.seq
 	s.gen++ // odd: live
 	s.canceled = false
+	s.early = false
 	return idx, s
 }
 
@@ -193,13 +218,17 @@ func (k *Kernel) release(idx uint32) {
 	k.free = append(k.free, idx)
 }
 
-// less orders two slot indices by (time, sequence). The sequence number
-// makes the ordering total and therefore the whole simulation deterministic:
-// two events scheduled for the same instant fire in scheduling order.
+// less orders two slot indices by (time, class, sequence): early events
+// precede normal events at the same instant, and the sequence number makes
+// the ordering total and therefore the whole simulation deterministic — two
+// same-class events scheduled for the same instant fire in scheduling order.
 func (k *Kernel) less(a, b uint32) bool {
 	sa, sb := &k.slots[a], &k.slots[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
+	}
+	if sa.early != sb.early {
+		return sa.early
 	}
 	return sa.seq < sb.seq
 }

@@ -360,3 +360,52 @@ func TestFromSeconds(t *testing.T) {
 		t.Errorf("FromSeconds(0) = %v", got)
 	}
 }
+
+func TestKernelAtCallEarlyFiresBeforeNormalEventsAtSameInstant(t *testing.T) {
+	k := NewKernel()
+	var got []string
+	push := func(s string) func(any) { return func(any) { got = append(got, s) } }
+	// A normal event scheduled long before the early one must still yield.
+	k.At(10, func() { got = append(got, "normal-1") })
+	k.AtCall(10, push("normal-2"), nil)
+	k.AtCallEarly(10, push("early-1"), nil)
+	k.At(10, func() { got = append(got, "normal-3") })
+	k.AtCallEarly(10, push("early-2"), nil)
+	k.RunAll()
+	want := []string{"early-1", "early-2", "normal-1", "normal-2", "normal-3"}
+	if len(got) != len(want) {
+		t.Fatalf("fired %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fired %v, want %v", got, want)
+		}
+	}
+}
+
+func TestKernelAtCallEarlyKeepsTimestampOrder(t *testing.T) {
+	k := NewKernel()
+	var got []Time
+	fn := func(any) { got = append(got, k.Now()) }
+	k.AtCallEarly(20, fn, nil)
+	k.At(10, func() { got = append(got, k.Now()) })
+	k.AtCallEarly(5, fn, nil)
+	k.RunAll()
+	if len(got) != 3 || got[0] != 5 || got[1] != 10 || got[2] != 20 {
+		t.Fatalf("fired at %v, want [5 10 20]", got)
+	}
+}
+
+func TestKernelAtCallEarlyCancel(t *testing.T) {
+	k := NewKernel()
+	fired := false
+	ev := k.AtCallEarly(10, func(any) { fired = true }, nil)
+	ev.Cancel()
+	k.RunAll()
+	if fired {
+		t.Error("cancelled early event fired")
+	}
+	if k.Processed() != 0 {
+		t.Errorf("Processed() = %d, want 0", k.Processed())
+	}
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package sim_test
+
+// raceEnabled reports whether the race detector instruments this build;
+// sync.Pool-based zero-allocation assertions do not hold under it.
+const raceEnabled = false

@@ -2,7 +2,9 @@
 // hidden-node chain (Fig. 6), the 10-node testbed tree (Fig. 16), the
 // 17-node testbed star (Fig. 17) and the concentric data-collection rings
 // with 7/19/43/91 nodes (Fig. 20), together with the static routing trees
-// the multi-hop scenarios forward along.
+// the multi-hop scenarios forward along. Beyond the paper, FactoryHall
+// generates random-uniform industrial deployments with configurable node
+// count and density for large-scale (10k-node) experiments.
 package topo
 
 import (
@@ -11,6 +13,7 @@ import (
 
 	"qma/internal/frame"
 	"qma/internal/radio"
+	"qma/internal/sim"
 )
 
 // Network bundles a topology with its routing tree and reporting metadata.
@@ -245,6 +248,94 @@ func Rings(rings int) *Network {
 	return &Network{
 		Name:      fmt.Sprintf("rings-%d", rings),
 		Topology:  g,
+		Sink:      0,
+		Parent:    parent,
+		Positions: pos,
+	}
+}
+
+// FactoryConfig parameterizes FactoryHall.
+type FactoryConfig struct {
+	// Nodes is the total node count (including the sink); required.
+	Nodes int
+	// Degree is the target mean number of decode-neighbours per node; the
+	// hall is sized so that a uniform deployment hits it on average
+	// (default 10). Denser halls contend harder, sparser halls route longer.
+	Degree float64
+	// Side overrides the hall edge length in meters (0 = derive from Degree).
+	Side float64
+	// PathLoss configures the channel (zero value = DefaultPathLossConfig).
+	PathLoss radio.PathLossConfig
+	// Seed draws the node placement; same seed, same hall.
+	Seed uint64
+}
+
+// FactoryHall is the large-scale scenario family: Nodes devices placed
+// uniformly at random over a square industrial hall, a log-distance
+// path-loss channel, the sink in the hall center, and a min-hop routing
+// tree built by BFS from the sink. Nodes that cannot reach the sink stay
+// detached (Parent −1) — at very low densities the deployment may
+// partition, exactly as a real hall would.
+//
+// The construction is O(N + E) end to end (spatial-grid neighbor queries, no
+// N×N state), so 10,000-node halls build in well under a second.
+func FactoryHall(cfg FactoryConfig) *Network {
+	if cfg.Nodes < 2 {
+		panic(fmt.Sprintf("topo: FactoryHall needs at least 2 nodes, got %d", cfg.Nodes))
+	}
+	if cfg.Degree <= 0 {
+		cfg.Degree = 10
+	}
+	if cfg.PathLoss == (radio.PathLossConfig{}) {
+		cfg.PathLoss = radio.DefaultPathLossConfig()
+	}
+	side := cfg.Side
+	if side <= 0 {
+		// Decode range R from the link budget; area = N·πR²/Degree gives an
+		// expected decode degree of ~Degree away from the hall edges.
+		budget := cfg.PathLoss.TxPowerDBm - cfg.PathLoss.ReferenceLossDB - cfg.PathLoss.SensitivityDBm
+		r := math.Pow(10, budget/(10*cfg.PathLoss.PathLossExponent))
+		side = r * math.Sqrt(math.Pi*float64(cfg.Nodes)/cfg.Degree)
+	}
+	rng := sim.NewRandStream(cfg.Seed, 7001)
+	pos := make([]radio.Position, cfg.Nodes)
+	pos[0] = radio.Position{X: side / 2, Y: side / 2} // sink in the center
+	for i := 1; i < cfg.Nodes; i++ {
+		pos[i] = radio.Position{X: rng.Float64() * side, Y: rng.Float64() * side}
+	}
+	pt := radio.NewPathLossTopology(cfg.PathLoss, pos)
+
+	// Min-hop routing tree by BFS from the sink over the decode links, using
+	// the grid-backed neighbor enumeration (O(N + E) total). A child's frames
+	// must be decodable at its parent, so the edge direction is
+	// CanDecode(child, parent). Frontier and candidate order are
+	// deterministic (ascending ids), so the same seed always yields the same
+	// tree; nodes outside the sink's component stay detached (Parent −1).
+	parent := make([]frame.NodeID, cfg.Nodes)
+	for i := range parent {
+		parent[i] = -1
+	}
+	visited := make([]bool, cfg.Nodes)
+	visited[0] = true
+	queue := make([]frame.NodeID, 0, cfg.Nodes)
+	queue = append(queue, 0)
+	var cand []frame.NodeID
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		cand = pt.AppendLinks(p, cand[:0])
+		for _, c := range cand {
+			if visited[c] || !pt.CanDecode(c, p) {
+				continue
+			}
+			visited[c] = true
+			parent[c] = p
+			queue = append(queue, c)
+		}
+	}
+	return &Network{
+		Name:      fmt.Sprintf("factory-%d", cfg.Nodes),
+		Topology:  pt,
 		Sink:      0,
 		Parent:    parent,
 		Positions: pos,

@@ -2,8 +2,10 @@ package topo
 
 import (
 	"testing"
+	"time"
 
 	"qma/internal/frame"
+	"qma/internal/radio"
 )
 
 func TestHiddenNodeStructure(t *testing.T) {
@@ -153,4 +155,107 @@ func TestRingsForCountPanicsOnBadCount(t *testing.T) {
 		}
 	}()
 	RingsForCount(10)
+}
+
+func TestFactoryHallStructure(t *testing.T) {
+	for _, nodes := range []int{10, 100, 1000} {
+		n := FactoryHall(FactoryConfig{Nodes: nodes, Seed: 7})
+		if n.NumNodes() != nodes || n.Sink != 0 {
+			t.Fatalf("nodes=%d sink=%d", n.NumNodes(), n.Sink)
+		}
+		if len(n.Positions) != nodes {
+			t.Fatalf("positions missing")
+		}
+		routed := 0
+		for i := 1; i < nodes; i++ {
+			d := n.Depth(frame.NodeID(i))
+			if n.Parent[i] >= 0 {
+				if d < 0 {
+					t.Fatalf("FactoryHall(%d): node %d has a parent but no route", nodes, i)
+				}
+				// The parent must decode the child's transmissions and sit
+				// one hop closer to the sink (BFS min-hop property).
+				if !n.Topology.CanDecode(frame.NodeID(i), n.Parent[i]) {
+					t.Fatalf("FactoryHall(%d): node %d cannot reach its parent", nodes, i)
+				}
+				if pd := n.Depth(n.Parent[i]); pd != d-1 {
+					t.Fatalf("FactoryHall(%d): node %d depth %d but parent depth %d", nodes, i, d, pd)
+				}
+				routed++
+			} else if d >= 0 {
+				t.Fatalf("FactoryHall(%d): node %d routed despite Parent=-1", nodes, i)
+			}
+		}
+		// At the default density the vast majority of the hall must route.
+		if routed < (nodes-1)*8/10 {
+			t.Errorf("FactoryHall(%d): only %d/%d nodes routed", nodes, routed, nodes-1)
+		}
+	}
+}
+
+func TestFactoryHallDeterministic(t *testing.T) {
+	a := FactoryHall(FactoryConfig{Nodes: 200, Seed: 11})
+	b := FactoryHall(FactoryConfig{Nodes: 200, Seed: 11})
+	for i := range a.Positions {
+		if a.Positions[i] != b.Positions[i] || a.Parent[i] != b.Parent[i] {
+			t.Fatalf("same seed produced different halls at node %d", i)
+		}
+	}
+	c := FactoryHall(FactoryConfig{Nodes: 200, Seed: 12})
+	same := true
+	for i := range a.Positions {
+		if a.Positions[i] != c.Positions[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical halls")
+	}
+}
+
+func TestFactoryHallDensityKnob(t *testing.T) {
+	meanDegree := func(n *Network) float64 {
+		pt := n.Topology.(*radio.PathLossTopology)
+		total := 0
+		var cand []frame.NodeID
+		for i := 0; i < n.NumNodes(); i++ {
+			cand = pt.AppendLinks(frame.NodeID(i), cand[:0])
+			for _, j := range cand {
+				if pt.CanDecode(frame.NodeID(i), j) {
+					total++
+				}
+			}
+		}
+		return float64(total) / float64(n.NumNodes())
+	}
+	sparse := meanDegree(FactoryHall(FactoryConfig{Nodes: 500, Degree: 6, Seed: 3}))
+	dense := meanDegree(FactoryHall(FactoryConfig{Nodes: 500, Degree: 24, Seed: 3}))
+	if sparse <= 2 || dense <= sparse*2 {
+		t.Errorf("degree knob ineffective: sparse %.1f, dense %.1f", sparse, dense)
+	}
+}
+
+func TestFactoryHallPanicsOnTooFewNodes(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("FactoryHall(1 node) should panic")
+		}
+	}()
+	FactoryHall(FactoryConfig{Nodes: 1})
+}
+
+func TestFactoryHall10kBuildsFast(t *testing.T) {
+	// Acceptance pin: a 10,000-node path-loss hall (positions, spatial
+	// index, BFS routing tree) must build in well under 2 s. The O(N + E)
+	// construction takes ~10 ms, so the bound holds with huge margin even
+	// on slow shared CI hardware.
+	start := time.Now()
+	n := FactoryHall(FactoryConfig{Nodes: 10000, Seed: 1})
+	if d := time.Since(start); d > 2*time.Second {
+		t.Fatalf("10k-node hall took %v to build, want < 2s", d)
+	}
+	if n.NumNodes() != 10000 {
+		t.Fatalf("nodes = %d", n.NumNodes())
+	}
 }

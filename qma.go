@@ -224,6 +224,9 @@ type Result struct {
 	NetworkPDR float64
 	// MeanDelaySeconds is the mean end-to-end delay across all deliveries.
 	MeanDelaySeconds float64
+	// Events is the number of simulator events the run processed; divided by
+	// wall time it yields the events/second throughput of the simulation.
+	Events uint64
 }
 
 // Validate reports the first configuration problem, or nil.
@@ -311,6 +314,7 @@ func (s *Scenario) Run() (*Result, error) {
 	out := &Result{
 		NetworkPDR:       res.NetworkPDR(),
 		MeanDelaySeconds: res.MeanDelay(),
+		Events:           res.Events,
 	}
 	for i := range res.Nodes {
 		n := &res.Nodes[i]
@@ -399,6 +403,24 @@ func Rings(rings int) (*Topology, error) {
 		return nil, fmt.Errorf("qma: rings=%d out of range [1,8]", rings)
 	}
 	return &Topology{net: topo.Rings(rings)}, nil
+}
+
+// FactoryHall returns a random-uniform industrial-hall deployment: nodes
+// devices over a square hall sized so the mean decode degree is ~degree
+// (0 selects the default of 10), the sink in the center and min-hop routing
+// towards it. Construction is O(N + E), so halls with tens of thousands of
+// nodes build in well under a second. Nodes outside the sink's radio
+// component stay unrouted — check HasRoute before attaching traffic.
+func FactoryHall(nodes int, degree float64, seed uint64) (*Topology, error) {
+	if nodes < 2 {
+		return nil, fmt.Errorf("qma: factory hall needs at least 2 nodes, got %d", nodes)
+	}
+	return &Topology{net: topo.FactoryHall(topo.FactoryConfig{Nodes: nodes, Degree: degree, Seed: seed})}, nil
+}
+
+// HasRoute reports whether node id has a forwarding path to the sink.
+func (t *Topology) HasRoute(id int) bool {
+	return id >= 0 && id < t.net.NumNodes() && t.net.Depth(frame.NodeID(id)) >= 0
 }
 
 // NewTopology builds a custom topology: n nodes, bidirectional links, a sink
