@@ -59,6 +59,7 @@ func BenchmarkEnergyParity(b *testing.B)             { runExperiment(b, "energy"
 func BenchmarkFig21to22DSMEScalability(b *testing.B) { runExperiment(b, "fig21-22") }
 func BenchmarkFig26HandshakeMarkov(b *testing.B)     { runExperiment(b, "fig26") }
 func BenchmarkAblations(b *testing.B)                { runExperiment(b, "ablation") }
+func BenchmarkDynamicsFamily(b *testing.B)           { runExperiment(b, "dynamics") }
 
 // Microbenchmarks.
 

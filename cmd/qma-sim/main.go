@@ -28,10 +28,21 @@ func main() {
 	useDSME := flag.Bool("dsme", false, "run the DSME GTS scenario instead of plain contention")
 	scale := flag.Int("scale", 0, "run a random-uniform factory hall with this many nodes instead of -topology")
 	degree := flag.Float64("degree", 0, "factory-hall target mean decode degree (0 = default 10)")
+	dynamics := flag.Bool("dynamics", false, "enable link dynamics: a canned burst fade at -fade-node (see -fade-*)")
+	fadeNode := flag.Int("fade-node", -1, "node to deep-fade with -dynamics (-1 = the sink)")
+	fadeAt := flag.Float64("fade-at", -1, "fade start in seconds (-1 = half of -duration)")
+	fadeFor := flag.Float64("fade-for", 5, "fade duration in seconds")
+	geBad := flag.Float64("ge-bad", 0, "Gilbert–Elliott mean bad-state sojourn in seconds (0 = off; >0 enables the GE channel, with or without -dynamics)")
+	geGood := flag.Float64("ge-good", 10, "Gilbert–Elliott mean good-state sojourn in seconds")
 	flag.Parse()
 
 	mk, err := parseMAC(*mac)
 	fatalIf(err)
+
+	wantDynamics := *dynamics || *geBad > 0
+	if wantDynamics && (*scale > 0 || *useDSME) {
+		fatalIf(fmt.Errorf("-dynamics/-ge-bad are only supported on the plain contention path (not -scale or -dsme)"))
+	}
 
 	if *scale > 0 {
 		if *warmup >= *duration {
@@ -69,6 +80,31 @@ func main() {
 		MeasureFromSeconds: *warmup,
 	}
 	sink := topo.Sink()
+	if wantDynamics {
+		sc.Dynamics = &qma.Dynamics{}
+		msg := "dynamics:"
+		if *dynamics {
+			node := *fadeNode
+			if node < 0 {
+				node = sink
+			}
+			at := *fadeAt
+			if at < 0 {
+				at = *duration / 2
+			}
+			sc.Dynamics.Fades = []qma.Fade{{Node: node, AtSeconds: at, ForSeconds: *fadeFor}}
+			msg += fmt.Sprintf(" deep fade at node %d from %gs for %gs;", node, at, *fadeFor)
+		}
+		if *geBad > 0 {
+			sc.Dynamics.Channel = qma.GilbertElliott{
+				MeanGoodSeconds: *geGood,
+				MeanBadSeconds:  *geBad,
+				LossBad:         1,
+			}
+			msg += fmt.Sprintf(" Gilbert–Elliott channel good %gs / bad %gs;", *geGood, *geBad)
+		}
+		fmt.Println(strings.TrimSuffix(msg, ";"))
+	}
 	for i := 0; i < topo.NumNodes(); i++ {
 		if i == sink {
 			continue

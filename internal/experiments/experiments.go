@@ -65,6 +65,25 @@ func Full() Mode {
 	}
 }
 
+// Golden returns the reduced deterministic mode behind the committed
+// regression digests (testdata/golden/*.json): one replication, short runs.
+// The digests are not statistically meaningful — they exist to pin
+// byte-identical simulator behaviour, so `go test` fails loudly on any
+// accidental behavioural drift instead of depending on manual RunAll
+// diffing. Regenerate with
+// `go test ./internal/experiments -run TestGoldenTraces -update-golden`.
+func Golden() Mode {
+	return Mode{
+		Name:         "golden",
+		Reps:         1,
+		Packets:      100,
+		Parallel:     0,
+		Warmup:       20 * sim.Second,
+		DSMEDuration: 120 * sim.Second,
+		DSMEWarmup:   50 * sim.Second,
+	}
+}
+
 // Table is a rendered experiment result.
 type Table struct {
 	// ID names the paper artefact ("Fig. 7"), Title describes it.

@@ -1,0 +1,100 @@
+package radio
+
+import (
+	"testing"
+
+	"qma/internal/frame"
+	"qma/internal/sim"
+)
+
+// FuzzGraphTopologyLinks fuzzes the link layer's structural invariants: an
+// arbitrary byte string becomes a graph (AddLink calls, including loops and
+// duplicates), and the test asserts that AppendLinks and ClassifyLink agree
+// exactly with CanDecode/CanSense, that enumeration is sorted/unique/
+// self-free and symmetric, and — using the remaining bytes as a churn
+// script — that a Medium's incrementally maintained rows keep matching a
+// naive per-event re-classification. Committed seeds live in testdata/fuzz.
+func FuzzGraphTopologyLinks(f *testing.F) {
+	f.Add([]byte{5, 0, 1, 1, 2, 2, 3, 3, 0, 0, 0, 1, 2})
+	f.Add([]byte{3, 0, 1, 0, 2, 1, 2, 9, 9})
+	f.Add([]byte{12, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 0, 1, 3, 5, 7, 2, 4, 6, 8, 250, 251})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		n := 2 + int(data[0]%14)
+		g := NewGraphTopology(n)
+		i := 1
+		for ; i+1 < len(data) && i < 40; i += 2 {
+			g.AddLink(frame.NodeID(int(data[i])%n), frame.NodeID(int(data[i+1])%n))
+		}
+
+		// Structural invariants of enumeration and classification.
+		var buf []frame.NodeID
+		for src := 0; src < n; src++ {
+			s := frame.NodeID(src)
+			buf = g.AppendLinks(s, buf[:0])
+			for k, id := range buf {
+				if id == s {
+					t.Fatalf("AppendLinks(%d) contains the source", src)
+				}
+				if k > 0 && buf[k-1] >= id {
+					t.Fatalf("AppendLinks(%d) not strictly ascending: %v", src, buf)
+				}
+			}
+			member := make(map[frame.NodeID]bool, len(buf))
+			for _, id := range buf {
+				member[id] = true
+			}
+			for dst := 0; dst < n; dst++ {
+				d := frame.NodeID(dst)
+				decode, sense := g.ClassifyLink(s, d)
+				if decode != g.CanDecode(s, d) || sense != g.CanSense(s, d) {
+					t.Fatalf("ClassifyLink(%d,%d) = (%v,%v), predicates (%v,%v)",
+						src, dst, decode, sense, g.CanDecode(s, d), g.CanSense(s, d))
+				}
+				if g.CanDecode(s, d) != g.CanDecode(d, s) {
+					t.Fatalf("CanDecode(%d,%d) asymmetric", src, dst)
+				}
+				if (g.CanDecode(s, d) || g.CanSense(s, d)) != member[d] {
+					t.Fatalf("AppendLinks(%d) membership of %d = %v, predicates say %v",
+						src, dst, member[d], g.CanDecode(s, d))
+				}
+			}
+		}
+
+		// Churn script: the remaining bytes toggle node presence on a live
+		// medium; after every toggle the incrementally maintained rows must
+		// equal a naive re-classification over present nodes.
+		m := NewMedium(sim.NewKernel(), g, sim.NewRand(1))
+		m.EnableDynamics()
+		present := make([]bool, n)
+		for j := range present {
+			present[j] = true
+		}
+		for ; i < len(data) && i < 80; i++ {
+			id := int(data[i]) % n
+			present[id] = !present[id]
+			m.SetPresent(frame.NodeID(id), present[id])
+			for src := 0; src < n; src++ {
+				s := frame.NodeID(src)
+				var want []frame.NodeID
+				if present[src] {
+					for dst := 0; dst < n; dst++ {
+						if present[dst] && g.CanDecode(s, frame.NodeID(dst)) {
+							want = append(want, frame.NodeID(dst))
+						}
+					}
+				}
+				if !equalIDs(m.DecodeNeighbors(s), want) {
+					t.Fatalf("after toggling %d: decode row of %d = %v, naive %v",
+						id, src, m.DecodeNeighbors(s), want)
+				}
+				if !equalIDs(m.SenseNeighbors(s), want) {
+					t.Fatalf("after toggling %d: sense row of %d = %v, naive %v",
+						id, src, m.SenseNeighbors(s), want)
+				}
+			}
+		}
+	})
+}

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"slices"
 
 	"qma/internal/frame"
 	"qma/internal/sim"
@@ -35,6 +36,11 @@ type transmission struct {
 	// receivers are the decode-neighbours of src tuned to the frame's
 	// channel at transmission start.
 	receivers []frame.NodeID
+	// sensed are the nodes whose busy counters this transmission raised,
+	// captured at transmission start. busyEnd lowers exactly this set, so
+	// the counters stay consistent even when churn or mobility re-classify
+	// the sender's sense links while the frame is on the air.
+	sensed []frame.NodeID
 }
 
 // NodeStats aggregates per-node medium-level counters.
@@ -95,6 +101,29 @@ type Medium struct {
 	// detects. Inner slices grow to the highest channel actually used at i.
 	busy [][]int32
 
+	// classify answers both link predicates for one ordered pair; enum is
+	// the topology's candidate enumerator (nil when the topology only
+	// supports N² probing). Both are captured at construction so the
+	// dynamic re-classification paths share the static build's logic.
+	classify func(src, dst frame.NodeID) (decode, sense bool)
+	enum     LinkEnumerator
+
+	// Dynamics state, nil until EnableDynamics. dynDecode/dynSense shadow
+	// the CSR arrays with per-node rows that churn and mobility update
+	// incrementally in O(degree); present[i] is false while node i has left
+	// the network; fadeUntil[i] marks a scheduled deep fade at node i; ge is
+	// the optional Gilbert–Elliott burst-error process. All of it is opt-in:
+	// with no dynamics configured the hot paths take the exact static
+	// branches and consume the exact same random draws as before.
+	dynDecode [][]frame.NodeID
+	dynSense  [][]frame.NodeID
+	present   []bool
+	fadeUntil []sim.Time
+	ge        *geProcess
+	// moveBufA/moveBufB are scratch candidate buffers for MoveNode and
+	// SetPresent, retained across calls.
+	moveBufA, moveBufB []frame.NodeID
+
 	// txPool recycles transmission structs; endTXFn is the long-lived
 	// callback StartTX schedules through Kernel.AtCall so ending a
 	// transmission needs no per-call closure. busyEndFn retires the busy
@@ -131,18 +160,21 @@ func NewMedium(k *sim.Kernel, topo Topology, rng *sim.Rand) *Medium {
 	}
 	// classify answers both predicates; the LinkClassifier fast path pays a
 	// single RSSI computation per candidate pair.
-	classify := func(src, dst frame.NodeID) (bool, bool) {
+	m.classify = func(src, dst frame.NodeID) (bool, bool) {
 		return topo.CanDecode(src, dst), topo.CanSense(src, dst)
 	}
 	if cl, ok := topo.(LinkClassifier); ok {
-		classify = cl.ClassifyLink
+		m.classify = cl.ClassifyLink
+	}
+	if enum, ok := topo.(LinkEnumerator); ok {
+		m.enum = enum
 	}
 	appendLinks := func(src frame.NodeID, candidates []frame.NodeID) {
 		for _, dst := range candidates {
 			if dst == src {
 				continue
 			}
-			decode, sense := classify(src, dst)
+			decode, sense := m.classify(src, dst)
 			if decode {
 				m.decodeArr = append(m.decodeArr, dst)
 			}
@@ -153,10 +185,10 @@ func NewMedium(k *sim.Kernel, topo Topology, rng *sim.Rand) *Medium {
 		m.decodeOff[src+1] = int32(len(m.decodeArr))
 		m.senseOff[src+1] = int32(len(m.senseArr))
 	}
-	if enum, ok := topo.(LinkEnumerator); ok {
+	if m.enum != nil {
 		var buf []frame.NodeID
 		for src := 0; src < n; src++ {
-			buf = enum.AppendLinks(frame.NodeID(src), buf[:0])
+			buf = m.enum.AppendLinks(frame.NodeID(src), buf[:0])
 			appendLinks(frame.NodeID(src), buf)
 		}
 	} else {
@@ -241,7 +273,7 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	// synchronize on it (eligibility is captured at the start; a receiver
 	// retuning mid-flight loses the frame through the end-of-transmission
 	// tuning check instead).
-	for _, r := range m.decodeArr[m.decodeOff[src]:m.decodeOff[src+1]] {
+	for _, r := range m.decodeRow(src) {
 		if m.tuned[r] == f.Channel {
 			t.receivers = append(t.receivers, r)
 			t.corrupt = append(t.corrupt, false)
@@ -250,8 +282,10 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 
 	// Raise the busy counters at every node that senses src, on the frame's
 	// channel; busyEnd lowers them again just before the end timestamp's
-	// normal events run.
-	for _, r := range m.senseArr[m.senseOff[src]:m.senseOff[src+1]] {
+	// normal events run. The set is snapshotted on the transmission so the
+	// counters balance even if dynamics rewrite the sense links mid-flight.
+	for _, r := range m.senseRow(src) {
+		t.sensed = append(t.sensed, r)
 		m.busyAdd(r, f.Channel, 1)
 	}
 
@@ -289,9 +323,11 @@ func (m *Medium) busyAdd(id frame.NodeID, ch uint8, delta int32) {
 }
 
 // busyEnd lowers the busy counters a transmission raised. It runs as an
-// early event at t.end, before endTX and before any same-timestamp CCA.
+// early event at t.end, before endTX and before any same-timestamp CCA. It
+// walks the sensed set captured at transmission start, not the current sense
+// links, so churn and mobility cannot unbalance the counters.
 func (m *Medium) busyEnd(t *transmission) {
-	for _, r := range m.senseArr[m.senseOff[t.src]:m.senseOff[t.src+1]] {
+	for _, r := range t.sensed {
 		m.busy[r][t.channel]--
 	}
 }
@@ -312,6 +348,7 @@ func (m *Medium) putTransmission(t *transmission) {
 	t.f = nil
 	t.receivers = t.receivers[:0]
 	t.corrupt = t.corrupt[:0]
+	t.sensed = t.sensed[:0]
 	m.txPool = append(m.txPool, t)
 }
 
@@ -329,6 +366,7 @@ func (m *Medium) corruptAllAt(id frame.NodeID) {
 // endTX finalizes a transmission: removes it from the air and delivers it to
 // every receiver whose copy survived.
 func (m *Medium) endTX(t *transmission) {
+	now := m.k.Now()
 	for i, r := range t.receivers {
 		m.rxCount[r]--
 		m.removeInflight(r, t)
@@ -341,10 +379,23 @@ func (m *Medium) endTX(t *transmission) {
 			m.stats[r].RxCollided++
 			continue
 		}
+		// A scheduled deep fade at either endpoint swallows the frame. The
+		// check is deterministic (no rng draw), so enabling a fade leaves
+		// every other link's loss sequence untouched.
+		if m.fadeUntil != nil && (now < m.fadeUntil[r] || now < m.fadeUntil[t.src]) {
+			m.stats[r].RxFaded++
+			continue
+		}
 		// A receiver that is transmitting exactly as the frame ends cannot
 		// have synchronized on it (covered by corrupt flag), but a receiver
 		// may still lose the frame to fading.
 		if p := m.topo.DeliveryProb(t.src, r); p < 1 && !m.rng.Bool(p) {
+			m.stats[r].RxFaded++
+			continue
+		}
+		// The Gilbert–Elliott burst-error process draws from per-link
+		// streams, never from m.rng.
+		if m.ge != nil && !m.ge.deliver(t.src, r, now) {
 			m.stats[r].RxFaded++
 			continue
 		}
@@ -368,14 +419,198 @@ func (m *Medium) removeInflight(id frame.NodeID, t *transmission) {
 	}
 }
 
-// DecodeNeighbors returns the ids that can decode transmissions from src
-// in ascending order (a view into the CSR array; callers must not mutate).
-func (m *Medium) DecodeNeighbors(src frame.NodeID) []frame.NodeID {
+// decodeRow returns the current decode links of src: the dynamic overlay
+// row once dynamics are enabled, the CSR view otherwise.
+func (m *Medium) decodeRow(src frame.NodeID) []frame.NodeID {
+	if m.dynDecode != nil {
+		return m.dynDecode[src]
+	}
 	return m.decodeArr[m.decodeOff[src]:m.decodeOff[src+1]]
 }
 
-// SenseNeighbors returns the ids whose CCA detects transmissions from src,
-// ascending (a view into the CSR array; callers must not mutate).
-func (m *Medium) SenseNeighbors(src frame.NodeID) []frame.NodeID {
+// senseRow is decodeRow for the sense links.
+func (m *Medium) senseRow(src frame.NodeID) []frame.NodeID {
+	if m.dynSense != nil {
+		return m.dynSense[src]
+	}
 	return m.senseArr[m.senseOff[src]:m.senseOff[src+1]]
+}
+
+// DecodeNeighbors returns the ids that can decode transmissions from src in
+// ascending order (a view into the medium's link storage; callers must not
+// mutate it, and under dynamics it is only valid until the next churn or
+// mobility event).
+func (m *Medium) DecodeNeighbors(src frame.NodeID) []frame.NodeID {
+	return m.decodeRow(src)
+}
+
+// SenseNeighbors returns the ids whose CCA detects transmissions from src,
+// ascending (same ownership rules as DecodeNeighbors).
+func (m *Medium) SenseNeighbors(src frame.NodeID) []frame.NodeID {
+	return m.senseRow(src)
+}
+
+// EnableDynamics arms the medium for churn, mobility and fade scheduling by
+// materializing the CSR link arrays into per-node rows that can be updated
+// incrementally. It is idempotent, costs O(N + E) once, and changes no
+// behaviour by itself: the copied rows are identical to the CSR views.
+func (m *Medium) EnableDynamics() {
+	if m.dynDecode != nil {
+		return
+	}
+	n := len(m.handlers)
+	m.dynDecode = make([][]frame.NodeID, n)
+	m.dynSense = make([][]frame.NodeID, n)
+	m.present = make([]bool, n)
+	m.fadeUntil = make([]sim.Time, n)
+	for i := 0; i < n; i++ {
+		m.dynDecode[i] = append([]frame.NodeID(nil), m.decodeArr[m.decodeOff[i]:m.decodeOff[i+1]]...)
+		m.dynSense[i] = append([]frame.NodeID(nil), m.senseArr[m.senseOff[i]:m.senseOff[i+1]]...)
+		m.present[i] = true
+	}
+}
+
+// SetGilbertElliott installs the burst-error process over every link. All of
+// its randomness derives from seed and the link key, so it perturbs no other
+// stream. A zero-valued (disabled) config removes the process.
+func (m *Medium) SetGilbertElliott(cfg GilbertElliott, seed uint64) {
+	if !cfg.Enabled() {
+		m.ge = nil
+		return
+	}
+	m.ge = newGEProcess(cfg, seed)
+}
+
+// SetFadeUntil opens (or extends) a deep-fade window at node id: until the
+// given instant every frame to or from the node is lost at delivery time
+// (transmissions still occupy the air and collide as usual, which is what
+// makes a fade a learnable disturbance rather than a silent pause).
+func (m *Medium) SetFadeUntil(id frame.NodeID, until sim.Time) {
+	m.EnableDynamics()
+	if until > m.fadeUntil[id] {
+		m.fadeUntil[id] = until
+	}
+}
+
+// Present reports whether node id is currently part of the network (true
+// until a SetPresent(id, false)).
+func (m *Medium) Present(id frame.NodeID) bool {
+	return m.present == nil || m.present[id]
+}
+
+// appendCandidates returns the ids that may share a link with id under the
+// current topology state (a superset; ascending, id excluded).
+func (m *Medium) appendCandidates(id frame.NodeID, buf []frame.NodeID) []frame.NodeID {
+	if m.enum != nil {
+		return m.enum.AppendLinks(id, buf)
+	}
+	for i := 0; i < len(m.handlers); i++ {
+		if frame.NodeID(i) != id {
+			buf = append(buf, frame.NodeID(i))
+		}
+	}
+	return buf
+}
+
+// SetPresent removes node id from the network (present == false) or rejoins
+// it. Departure clears the node's link rows and removes it from every
+// neighbour's rows; rejoining re-classifies the node's links against the
+// current topology. Both directions cost O(degree · log degree). Ongoing
+// transmissions are unaffected: their receiver and sensed sets were captured
+// at transmission start, so a node that leaves mid-frame still completes
+// those receptions and its raised busy counters still retire cleanly.
+func (m *Medium) SetPresent(id frame.NodeID, present bool) {
+	m.EnableDynamics()
+	if m.present[id] == present {
+		return
+	}
+	m.present[id] = present
+	m.moveBufA = m.appendCandidates(id, m.moveBufA[:0])
+	if !present {
+		for _, y := range m.moveBufA {
+			m.dynDecode[y] = sortedRemove(m.dynDecode[y], id)
+			m.dynSense[y] = sortedRemove(m.dynSense[y], id)
+		}
+		m.dynDecode[id] = m.dynDecode[id][:0]
+		m.dynSense[id] = m.dynSense[id][:0]
+		return
+	}
+	for _, y := range m.moveBufA {
+		if y == id || !m.present[y] {
+			continue
+		}
+		m.reclassifyPair(id, y)
+	}
+}
+
+// MoveNode updates node id's position (the topology must implement
+// MobileTopology) and incrementally re-classifies the affected links: the
+// union of the node's link candidates before and after the move, O(degree)
+// pairs, each updated in both directions — no full medium rebuild.
+func (m *Medium) MoveNode(id frame.NodeID, p Position) {
+	mob, ok := m.topo.(MobileTopology)
+	if !ok {
+		panic(fmt.Sprintf("radio: topology %T does not support MoveNode", m.topo))
+	}
+	m.EnableDynamics()
+	m.moveBufA = m.appendCandidates(id, m.moveBufA[:0])
+	mob.MoveNode(id, p)
+	m.moveBufB = m.appendCandidates(id, m.moveBufB[:0])
+	if !m.present[id] {
+		return // rows rebuilt against the new position on rejoin
+	}
+	// Walk the merged (ascending) candidate sets, touching each pair once.
+	a, b := m.moveBufA, m.moveBufB
+	for len(a) > 0 || len(b) > 0 {
+		var y frame.NodeID
+		switch {
+		case len(b) == 0 || (len(a) > 0 && a[0] < b[0]):
+			y, a = a[0], a[1:]
+		case len(a) == 0 || b[0] < a[0]:
+			y, b = b[0], b[1:]
+		default:
+			y, a, b = a[0], a[1:], b[1:]
+		}
+		if y == id || !m.present[y] {
+			continue
+		}
+		m.reclassifyPair(id, y)
+	}
+}
+
+// reclassifyPair re-evaluates both directed links between x and y against
+// the current topology and updates the overlay rows to match. Both nodes
+// must be present.
+func (m *Medium) reclassifyPair(x, y frame.NodeID) {
+	decode, sense := m.classify(x, y)
+	m.dynDecode[x] = sortedSet(m.dynDecode[x], y, decode)
+	m.dynSense[x] = sortedSet(m.dynSense[x], y, sense)
+	decode, sense = m.classify(y, x)
+	m.dynDecode[y] = sortedSet(m.dynDecode[y], x, decode)
+	m.dynSense[y] = sortedSet(m.dynSense[y], x, sense)
+}
+
+// sortedSet inserts or removes id so that row contains id iff member,
+// keeping the row sorted.
+func sortedSet(row []frame.NodeID, id frame.NodeID, member bool) []frame.NodeID {
+	if member {
+		return sortedInsert(row, id)
+	}
+	return sortedRemove(row, id)
+}
+
+func sortedInsert(row []frame.NodeID, id frame.NodeID) []frame.NodeID {
+	i, found := slices.BinarySearch(row, id)
+	if found {
+		return row
+	}
+	return slices.Insert(row, i, id)
+}
+
+func sortedRemove(row []frame.NodeID, id frame.NodeID) []frame.NodeID {
+	i, found := slices.BinarySearch(row, id)
+	if !found {
+		return row
+	}
+	return slices.Delete(row, i, i+1)
 }

@@ -44,6 +44,28 @@ type LinkEnumerator interface {
 	AppendLinks(src frame.NodeID, buf []frame.NodeID) []frame.NodeID
 }
 
+// MobileTopology is implemented by topologies whose nodes can move at
+// runtime. MoveNode updates one node's position and the topology's own
+// spatial index; it does NOT touch any Medium built over the topology —
+// callers go through Medium.MoveNode, which re-classifies the affected
+// links incrementally. A topology being mutated is no longer safe to share
+// across goroutines; scenario runners clone it per run.
+type MobileTopology interface {
+	Topology
+	MoveNode(id frame.NodeID, p Position)
+}
+
+// CloneableTopology is implemented by topologies that can produce an
+// independent deep copy. Scenario runners clone a topology before mutating
+// it (e.g. scheduled MoveNode calls) so the original stays shareable across
+// parallel replications.
+type CloneableTopology interface {
+	Topology
+	// CloneTopology returns an independent copy; mutating the copy must not
+	// affect the receiver.
+	CloneTopology() Topology
+}
+
 // LinkClassifier is an optional fast path next to LinkEnumerator: one call
 // evaluates both link predicates, letting consumers that need decode and
 // sense classification (the Medium's CSR build) pay one RSSI computation
@@ -215,13 +237,23 @@ type PathLossTopology struct {
 	reach      int
 	cellOff    []int32
 	cellNodes  []frame.NodeID
+
+	// Dynamic index, nil until the first MoveNode: per-cell node slices
+	// replace the CSR grid so single nodes can be moved in O(degree), and
+	// nodes that wander outside the original bounding box live in the
+	// overflow list every query additionally scans (bounded by the number
+	// of out-of-bounds movers, zero in static scenarios).
+	dynCells   [][]frame.NodeID
+	dynOutside []frame.NodeID
 }
 
 var (
-	_ Topology       = (*PathLossTopology)(nil)
-	_ LinkEnumerator = (*PathLossTopology)(nil)
-	_ LinkClassifier = (*PathLossTopology)(nil)
-	_ LinkClassifier = (*GraphTopology)(nil)
+	_ Topology          = (*PathLossTopology)(nil)
+	_ LinkEnumerator    = (*PathLossTopology)(nil)
+	_ LinkClassifier    = (*PathLossTopology)(nil)
+	_ MobileTopology    = (*PathLossTopology)(nil)
+	_ CloneableTopology = (*PathLossTopology)(nil)
+	_ LinkClassifier    = (*GraphTopology)(nil)
 )
 
 // NewPathLossTopology indexes the given positions for neighbor queries.
@@ -333,6 +365,9 @@ func (t *PathLossTopology) cellIndex(p Position) int {
 // its own, so concurrent calls (parallel replications sharing one topology)
 // are safe as long as each caller owns its buffer.
 func (t *PathLossTopology) AppendLinks(src frame.NodeID, buf []frame.NodeID) []frame.NodeID {
+	if t.dynCells != nil {
+		return t.appendLinksDynamic(src, buf)
+	}
 	out := buf
 	start := len(out)
 	p := t.pos[src]
@@ -368,6 +403,127 @@ func (t *PathLossTopology) AppendLinks(src frame.NodeID, buf []frame.NodeID) []f
 	slices.Sort(out[start:])
 	return out
 }
+
+// appendLinksDynamic is the AppendLinks query over the per-cell dynamic
+// index. The query center uses unclamped cell coordinates (a mover may sit
+// outside the original bounding box), intersected with the grid, plus a
+// scan of the out-of-bounds overflow list; the final distance check is the
+// same as the static path's.
+func (t *PathLossTopology) appendLinksDynamic(src frame.NodeID, buf []frame.NodeID) []frame.NodeID {
+	out := buf
+	start := len(out)
+	p := t.pos[src]
+	cx := cellCoord((p.X-t.minX)/t.cell, t.nx, t.reach)
+	cy := cellCoord((p.Y-t.minY)/t.cell, t.ny, t.reach)
+	for y := max(0, cy-t.reach); y <= min(t.ny-1, cy+t.reach); y++ {
+		for x := max(0, cx-t.reach); x <= min(t.nx-1, cx+t.reach); x++ {
+			for _, id := range t.dynCells[y*t.nx+x] {
+				if id != src && p.Distance(t.pos[id]) <= t.maxRange {
+					out = append(out, id)
+				}
+			}
+		}
+	}
+	for _, id := range t.dynOutside {
+		if id != src && p.Distance(t.pos[id]) <= t.maxRange {
+			out = append(out, id)
+		}
+	}
+	slices.Sort(out[start:])
+	return out
+}
+
+// cellCoord converts a fractional cell coordinate to an int, clamped just
+// outside the queryable range so far-away positions cannot overflow int
+// conversion; reach-sized margins keep the grid intersection exact.
+func cellCoord(v float64, n, reach int) int {
+	lo, hi := float64(-reach-1), float64(n+reach)
+	if v < lo {
+		v = lo
+	}
+	if v > hi {
+		v = hi
+	}
+	return int(math.Floor(v))
+}
+
+// storageCell maps a position to the dynamic cell it is stored in, or
+// reports false for positions outside the grid (such nodes live in the
+// overflow list). The binning must stay strict: a position past the last
+// column/row may NOT be clamped into it, because appendLinksDynamic's query
+// window assumes every stored node lies inside its cell's true extent —
+// clamping would park a mover up to a full cell away from where queries
+// look and silently lose links. Construction-time positions always bin
+// in-grid (nx/ny are derived from the same division).
+func (t *PathLossTopology) storageCell(p Position) (int, bool) {
+	if p.X < t.minX || p.Y < t.minY {
+		return 0, false
+	}
+	cx := int((p.X - t.minX) / t.cell)
+	cy := int((p.Y - t.minY) / t.cell)
+	if cx >= t.nx || cy >= t.ny {
+		return 0, false
+	}
+	return cy*t.nx + cx, true
+}
+
+// enableDynamicGrid converts the CSR cell index into per-cell slices (plus
+// the overflow list) so MoveNode can relocate single nodes. O(N) once;
+// static queries are unaffected until the first MoveNode.
+func (t *PathLossTopology) enableDynamicGrid() {
+	if t.dynCells != nil {
+		return
+	}
+	t.dynCells = make([][]frame.NodeID, t.nx*t.ny)
+	for id := range t.pos {
+		if c, ok := t.storageCell(t.pos[id]); ok {
+			t.dynCells[c] = append(t.dynCells[c], frame.NodeID(id))
+		} else {
+			t.dynOutside = append(t.dynOutside, frame.NodeID(id))
+		}
+	}
+}
+
+// MoveNode implements MobileTopology: it updates id's position and its slot
+// in the dynamic cell index (O(cell occupancy)). The first call converts
+// the index; after that the topology must no longer be shared across
+// goroutines.
+func (t *PathLossTopology) MoveNode(id frame.NodeID, p Position) {
+	t.enableDynamicGrid()
+	if c, ok := t.storageCell(t.pos[id]); ok {
+		t.dynCells[c] = removeID(t.dynCells[c], id)
+	} else {
+		t.dynOutside = removeID(t.dynOutside, id)
+	}
+	t.pos[id] = p
+	if c, ok := t.storageCell(p); ok {
+		t.dynCells[c] = append(t.dynCells[c], id)
+	} else {
+		t.dynOutside = append(t.dynOutside, id)
+	}
+}
+
+// removeID deletes the first occurrence of id (order is not preserved; the
+// enumeration sorts its output).
+func removeID(s []frame.NodeID, id frame.NodeID) []frame.NodeID {
+	for i, x := range s {
+		if x == id {
+			s[i] = s[len(s)-1]
+			return s[:len(s)-1]
+		}
+	}
+	return s
+}
+
+// Clone returns an independent copy of the topology (positions and index)
+// for runs that mutate node positions. The configuration is shared by
+// value; the clone starts in static-index mode.
+func (t *PathLossTopology) Clone() *PathLossTopology {
+	return NewPathLossTopology(t.cfg, slices.Clone(t.pos))
+}
+
+// CloneTopology implements CloneableTopology.
+func (t *PathLossTopology) CloneTopology() Topology { return t.Clone() }
 
 // ClassifyLink implements LinkClassifier: one RSSI computation answers both
 // predicates (identical comparisons to CanDecode/CanSense).

@@ -104,6 +104,51 @@ type BroadcastSpec struct {
 	StartAt sim.Time
 }
 
+// FadeSpec schedules a deterministic deep fade: from At until At+Duration
+// every frame to or from Node is lost at delivery time (the air stays
+// occupied, so the disturbance is visible to carrier sensing and learning).
+type FadeSpec struct {
+	Node     frame.NodeID
+	At       sim.Time
+	Duration sim.Time
+}
+
+// ChurnSpec schedules a node leaving (Leave true) or rejoining the network
+// at the given instant. Link re-classification is incremental (O(degree)).
+type ChurnSpec struct {
+	Node  frame.NodeID
+	At    sim.Time
+	Leave bool
+}
+
+// MoveSpec schedules a waypoint position update. Moves require a
+// position-based topology (radio.MobileTopology); the run operates on a
+// private clone so the shared Network stays immutable across replications.
+type MoveSpec struct {
+	Node frame.NodeID
+	At   sim.Time
+	To   radio.Position
+}
+
+// DynamicsConfig describes the time-varying behaviour of a run. The zero
+// value disables every mechanism, in which case the run is guaranteed to be
+// byte-identical to a pre-dynamics build: no extra random draws, no extra
+// events, identical link state.
+type DynamicsConfig struct {
+	// Gilbert is the per-link burst-error process (zero value = off).
+	Gilbert radio.GilbertElliott
+	// Fades, Churn and Moves are the scheduled disturbances, applied in
+	// slice order when instants coincide.
+	Fades []FadeSpec
+	Churn []ChurnSpec
+	Moves []MoveSpec
+}
+
+// Enabled reports whether any dynamics mechanism is configured.
+func (d *DynamicsConfig) Enabled() bool {
+	return d.Gilbert.Enabled() || len(d.Fades) > 0 || len(d.Churn) > 0 || len(d.Moves) > 0
+}
+
 // Config describes one run.
 type Config struct {
 	// Network is the topology with routing; required.
@@ -134,6 +179,15 @@ type Config struct {
 	// MeasureFrom restarts queue-level averaging at this instant so warm-up
 	// does not bias the Fig. 8 metric.
 	MeasureFrom sim.Time
+	// Dynamics configures time-varying channels and node churn (zero value:
+	// static run, byte-identical to the pre-dynamics simulator).
+	Dynamics DynamicsConfig
+	// OnEvalGenerate and OnEvalDeliver observe evaluation traffic as it is
+	// generated and as it reaches the sink — the dynamics experiments use
+	// them to compute windowed PDR and post-disturbance recovery times.
+	// Either may be nil.
+	OnEvalGenerate func(origin frame.NodeID, at sim.Time)
+	OnEvalDeliver  func(origin frame.NodeID, createdAt, at sim.Time)
 }
 
 // NodeResult carries everything measured at one node.
@@ -289,9 +343,28 @@ func build(cfg Config) *run {
 	n := cfg.Network.NumNodes()
 
 	// Stream layout: 0..n-1 engines, 1000 medium, 2000+i traffic,
-	// 3000+i broadcasts. Fixed offsets keep every consumer's stream stable
-	// when instrumentation is added or removed.
-	medium := radio.NewMedium(kernel, cfg.Network.Topology, sim.NewRandStream(cfg.Seed, 1000))
+	// 3000+i broadcasts; the Gilbert–Elliott process derives per-link
+	// streams of its own from the seed. Fixed offsets keep every consumer's
+	// stream stable when instrumentation is added or removed.
+	topology := cfg.Network.Topology
+	if len(cfg.Dynamics.Moves) > 0 {
+		// Moves mutate positions; run on a private clone so the Network
+		// stays shareable across parallel replications. Any mobile topology
+		// must therefore also be cloneable.
+		c, ok := topology.(radio.CloneableTopology)
+		if !ok {
+			panic(fmt.Sprintf("scenario: Dynamics.Moves require a cloneable position-based topology, got %T", topology))
+		}
+		clone := c.CloneTopology()
+		if _, ok := clone.(radio.MobileTopology); !ok {
+			panic(fmt.Sprintf("scenario: Dynamics.Moves require a topology supporting MoveNode, got %T", topology))
+		}
+		topology = clone
+	}
+	medium := radio.NewMedium(kernel, topology, sim.NewRandStream(cfg.Seed, 1000))
+	if cfg.Dynamics.Enabled() {
+		armDynamics(kernel, medium, cfg.Dynamics, cfg.Seed)
+	}
 
 	r := &run{
 		cfg:     cfg,
@@ -327,6 +400,28 @@ func build(cfg Config) *run {
 	return r
 }
 
+// armDynamics installs the burst-error process and schedules the churn,
+// mobility and fade events on the kernel. Events sharing an instant fire in
+// configuration order (the kernel's scheduling order is total).
+func armDynamics(kernel *sim.Kernel, medium *radio.Medium, d DynamicsConfig, seed uint64) {
+	medium.EnableDynamics()
+	if d.Gilbert.Enabled() {
+		medium.SetGilbertElliott(d.Gilbert, seed)
+	}
+	for _, f := range d.Fades {
+		f := f
+		kernel.At(f.At, func() { medium.SetFadeUntil(f.Node, f.At+f.Duration) })
+	}
+	for _, c := range d.Churn {
+		c := c
+		kernel.At(c.At, func() { medium.SetPresent(c.Node, !c.Leave) })
+	}
+	for _, mv := range d.Moves {
+		mv := mv
+		kernel.At(mv.At, func() { medium.MoveNode(mv.Node, mv.To) })
+	}
+}
+
 func (r *run) macConfig(id frame.NodeID) mac.Config {
 	retries := r.cfg.MaxRetries
 	switch {
@@ -351,6 +446,9 @@ func (r *run) macConfig(id frame.NodeID) mac.Config {
 			origin := &r.result.Nodes[f.Origin]
 			origin.Delivered++
 			origin.DelaySum += r.kernel.Now() - f.CreatedAt
+			if r.cfg.OnEvalDeliver != nil {
+				r.cfg.OnEvalDeliver(f.Origin, f.CreatedAt, r.kernel.Now())
+			}
 		},
 	}
 }
@@ -443,6 +541,9 @@ func (r *run) buildTraffic() {
 			OnGenerate: func(f *frame.Frame) {
 				if f.Tag == frame.TagEval {
 					node.Generated++
+					if r.cfg.OnEvalGenerate != nil {
+						r.cfg.OnEvalGenerate(f.Origin, r.kernel.Now())
+					}
 				}
 			},
 		}

@@ -1,0 +1,174 @@
+package sim
+
+import (
+	"testing"
+)
+
+// FuzzKernelScheduleCancel drives the arena/heap kernel and a naive
+// reference queue (sorted linear scan, no arena, no freelist, no lazy
+// compaction) through identical randomized programs of schedule, early
+// schedule, cancel, fire-time re-schedule and fire-time cancel operations,
+// and asserts identical firing traces. It is the adversarial counterpart of
+// kernel_test.go: the byte stream decides the interleaving, so `go test
+// -fuzz` explores schedule/cancel orderings (including cancelling events
+// from inside callbacks and recycling slots mid-run) no hand-written table
+// would cover. Committed seeds live in testdata/fuzz.
+
+// fuzzOp is one pre-run program step decoded from the fuzz input.
+type fuzzOp struct {
+	kind  byte // 0 schedule, 1 schedule-early, 2 cancel, 3 fire→schedule, 4 fire→cancel
+	at    Time // absolute schedule time (kinds 0,1,3,4)
+	extra byte // child delay (3) or cancel target selector (2,4)
+}
+
+func decodeProgram(data []byte) []fuzzOp {
+	var ops []fuzzOp
+	for i := 0; i+3 < len(data) && len(ops) < 300; i += 4 {
+		ops = append(ops, fuzzOp{
+			kind:  data[i] % 5,
+			at:    Time(uint16(data[i+1])<<4 | uint16(data[i+2])),
+			extra: data[i+3],
+		})
+	}
+	return ops
+}
+
+// fireRec is one trace entry: which logical event fired at what time.
+type fireRec struct {
+	idx int
+	at  Time
+}
+
+// fuzzQueue abstracts the two implementations for the program runner.
+type fuzzQueue interface {
+	schedule(at Time, early bool, fn func()) (cancel func())
+	now() Time
+	run()
+}
+
+// realQueue adapts Kernel.
+type realQueue struct{ k *Kernel }
+
+func (q realQueue) schedule(at Time, early bool, fn func()) func() {
+	wrap := func(any) { fn() }
+	var id EventID
+	if early {
+		id = q.k.AtCallEarly(at, wrap, nil)
+	} else {
+		id = q.k.At(at, fn)
+	}
+	return id.Cancel
+}
+func (q realQueue) now() Time { return q.k.Now() }
+func (q realQueue) run()      { q.k.RunAll() }
+
+// naiveEvent and naiveQueue are the reference implementation: an append-only
+// slice scanned linearly for the minimum of (at, early-first, seq).
+type naiveEvent struct {
+	at       Time
+	seq      uint64
+	early    bool
+	canceled bool
+	fired    bool
+	fn       func()
+}
+
+type naiveQueue struct {
+	events []*naiveEvent
+	seq    uint64
+	t      Time
+}
+
+func (q *naiveQueue) schedule(at Time, early bool, fn func()) func() {
+	q.seq++
+	e := &naiveEvent{at: at, seq: q.seq, early: early, fn: fn}
+	q.events = append(q.events, e)
+	return func() { e.canceled = true }
+}
+
+func (q *naiveQueue) now() Time { return q.t }
+
+func (q *naiveQueue) run() {
+	for {
+		var best *naiveEvent
+		for _, e := range q.events {
+			if e.fired || e.canceled {
+				continue
+			}
+			if best == nil || e.at < best.at ||
+				(e.at == best.at && e.early && !best.early) ||
+				(e.at == best.at && e.early == best.early && e.seq < best.seq) {
+				best = e
+			}
+		}
+		if best == nil {
+			return
+		}
+		best.fired = true
+		q.t = best.at
+		best.fn()
+	}
+}
+
+// runProgram executes the decoded program against one implementation and
+// returns the firing trace. Event behaviours are bound to logical event
+// indices at creation, so both implementations execute the same logical
+// program; any divergence in kernel ordering or cancellation shows up as a
+// trace diff.
+func runProgram(ops []fuzzOp, q fuzzQueue) []fireRec {
+	var trace []fireRec
+	cancels := make(map[int]func())
+	next := 0
+	var create func(kind byte, at Time, extra byte)
+	create = func(kind byte, at Time, extra byte) {
+		idx := next
+		next++
+		fire := func() {
+			trace = append(trace, fireRec{idx: idx, at: q.now()})
+			switch kind {
+			case 3:
+				create(0, q.now()+Time(extra), 0)
+			case 4:
+				if next > 0 {
+					if c := cancels[int(extra)%next]; c != nil {
+						c()
+					}
+				}
+			}
+		}
+		cancels[idx] = q.schedule(at, kind == 1, fire)
+	}
+	for _, op := range ops {
+		switch op.kind {
+		case 2:
+			if next > 0 {
+				if c := cancels[int(op.extra)%next]; c != nil {
+					c()
+				}
+			}
+		default:
+			create(op.kind, op.at, op.extra)
+		}
+	}
+	q.run()
+	return trace
+}
+
+func FuzzKernelScheduleCancel(f *testing.F) {
+	f.Add([]byte{0, 0, 10, 0, 1, 0, 10, 0, 0, 0, 10, 0, 2, 0, 0, 1})
+	f.Add([]byte{3, 0, 50, 7, 4, 0, 50, 0, 0, 0, 50, 3, 1, 0, 50, 2, 2, 0, 0, 0})
+	f.Add([]byte{0, 1, 0, 0, 3, 0, 255, 255, 4, 2, 0, 1, 1, 1, 0, 9, 2, 0, 0, 3, 0, 1, 0, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ops := decodeProgram(data)
+		real := runProgram(ops, realQueue{k: NewKernel()})
+		naive := runProgram(ops, &naiveQueue{})
+		if len(real) != len(naive) {
+			t.Fatalf("trace length: kernel %d, reference %d", len(real), len(naive))
+		}
+		for i := range real {
+			if real[i] != naive[i] {
+				t.Fatalf("trace entry %d: kernel %+v, reference %+v", i, real[i], naive[i])
+			}
+		}
+	})
+}

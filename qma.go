@@ -188,6 +188,57 @@ type Scenario struct {
 	SampleSeries bool
 	// MeasureFromSeconds restarts queue averaging at this instant.
 	MeasureFromSeconds float64
+	// Dynamics enables time-varying channels and node churn (nil = static).
+	Dynamics *Dynamics
+}
+
+// GilbertElliott parameterizes the per-link two-state burst-error channel
+// (good/bad states with exponential sojourn times and per-state frame loss
+// probabilities). Both mean sojourn times must be positive to enable the
+// process; the per-link state is sampled lazily at frame crossings, so the
+// cost is O(active links).
+type GilbertElliott struct {
+	// MeanGoodSeconds and MeanBadSeconds are the mean sojourn times.
+	MeanGoodSeconds, MeanBadSeconds float64
+	// LossGood and LossBad are the per-frame loss probabilities in each
+	// state (typically LossGood ≈ 0 and LossBad near 1).
+	LossGood, LossBad float64
+}
+
+// Fade schedules a deterministic deep fade at a node: during the window
+// every frame to or from the node is lost while the air stays occupied —
+// the standard controlled disturbance for recovery-time measurements.
+type Fade struct {
+	Node                  int
+	AtSeconds, ForSeconds float64
+}
+
+// Churn schedules a node leaving or rejoining the network.
+type Churn struct {
+	Node      int
+	AtSeconds float64
+	Leave     bool
+}
+
+// Move schedules a waypoint position update. Moves require a position-based
+// topology (Star17, FactoryHall); the run operates on a private copy of the
+// positions.
+type Move struct {
+	Node      int
+	AtSeconds float64
+	X, Y      float64
+}
+
+// Dynamics configures time-varying link dynamics and node churn. A nil (or
+// zero-valued) Dynamics leaves the simulator on its static code paths, with
+// results byte-identical to runs predating the dynamics subsystem.
+type Dynamics struct {
+	// Channel is the Gilbert–Elliott burst-error process (zero = off).
+	Channel GilbertElliott
+	// Fades, Churn and Moves are scheduled disturbances.
+	Fades []Fade
+	Churn []Churn
+	Moves []Move
 }
 
 // Point is one time series sample (seconds, value).
@@ -262,7 +313,90 @@ func (s *Scenario) Validate() error {
 	if _, err := s.Explorer.internal(); err != nil {
 		return err
 	}
+	return s.validateDynamics()
+}
+
+// validateDynamics checks the Dynamics block against the topology.
+func (s *Scenario) validateDynamics() error {
+	d := s.Dynamics
+	if d == nil {
+		return nil
+	}
+	n := s.Topology.net.NumNodes()
+	g := d.Channel
+	if g.MeanGoodSeconds < 0 || g.MeanBadSeconds < 0 {
+		return errors.New("qma: Gilbert–Elliott sojourn times must not be negative")
+	}
+	if (g.MeanGoodSeconds > 0) != (g.MeanBadSeconds > 0) {
+		return errors.New("qma: Gilbert–Elliott needs both MeanGoodSeconds and MeanBadSeconds (or neither)")
+	}
+	if g.LossGood < 0 || g.LossGood > 1 || g.LossBad < 0 || g.LossBad > 1 {
+		return errors.New("qma: Gilbert–Elliott loss probabilities must lie in [0,1]")
+	}
+	for _, f := range d.Fades {
+		if f.Node < 0 || f.Node >= n {
+			return fmt.Errorf("qma: fade node %d out of range [0,%d)", f.Node, n)
+		}
+		if f.AtSeconds < 0 {
+			return fmt.Errorf("qma: fade at node %d scheduled in the past", f.Node)
+		}
+		if f.ForSeconds <= 0 {
+			return fmt.Errorf("qma: fade at node %d needs a positive duration", f.Node)
+		}
+	}
+	for _, c := range d.Churn {
+		if c.Node < 0 || c.Node >= n {
+			return fmt.Errorf("qma: churn node %d out of range [0,%d)", c.Node, n)
+		}
+		if c.AtSeconds < 0 {
+			return fmt.Errorf("qma: churn at node %d scheduled in the past", c.Node)
+		}
+	}
+	if len(d.Moves) > 0 {
+		if _, ok := s.Topology.net.Topology.(radio.MobileTopology); !ok {
+			return errors.New("qma: Dynamics.Moves require a position-based topology (Star17, FactoryHall)")
+		}
+	}
+	for _, m := range d.Moves {
+		if m.Node < 0 || m.Node >= n {
+			return fmt.Errorf("qma: move node %d out of range [0,%d)", m.Node, n)
+		}
+		if m.AtSeconds < 0 {
+			return fmt.Errorf("qma: move at node %d scheduled in the past", m.Node)
+		}
+	}
 	return nil
+}
+
+// internal converts the public dynamics block to the scenario layer's form.
+func (d *Dynamics) internal() scenario.DynamicsConfig {
+	if d == nil {
+		return scenario.DynamicsConfig{}
+	}
+	out := scenario.DynamicsConfig{
+		Gilbert: radio.GilbertElliott{
+			MeanGood: sim.FromSeconds(d.Channel.MeanGoodSeconds),
+			MeanBad:  sim.FromSeconds(d.Channel.MeanBadSeconds),
+			LossGood: d.Channel.LossGood,
+			LossBad:  d.Channel.LossBad,
+		},
+	}
+	for _, f := range d.Fades {
+		out.Fades = append(out.Fades, scenario.FadeSpec{
+			Node: frame.NodeID(f.Node), At: sim.FromSeconds(f.AtSeconds), Duration: sim.FromSeconds(f.ForSeconds),
+		})
+	}
+	for _, c := range d.Churn {
+		out.Churn = append(out.Churn, scenario.ChurnSpec{
+			Node: frame.NodeID(c.Node), At: sim.FromSeconds(c.AtSeconds), Leave: c.Leave,
+		})
+	}
+	for _, m := range d.Moves {
+		out.Moves = append(out.Moves, scenario.MoveSpec{
+			Node: frame.NodeID(m.Node), At: sim.FromSeconds(m.AtSeconds), To: radio.Position{X: m.X, Y: m.Y},
+		})
+	}
+	return out
 }
 
 // Run executes the scenario and returns its metrics.
@@ -283,6 +417,7 @@ func (s *Scenario) Run() (*Result, error) {
 		Seed:        s.Seed,
 		Duration:    sim.FromSeconds(s.DurationSeconds),
 		MeasureFrom: sim.FromSeconds(s.MeasureFromSeconds),
+		Dynamics:    s.Dynamics.internal(),
 	}
 	if s.SampleSeries {
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe

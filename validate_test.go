@@ -1,0 +1,218 @@
+package qma_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"qma"
+)
+
+// TestScenarioValidateErrorPaths covers every Validate error branch,
+// including the dynamics block, and pins a fragment of each message so the
+// errors stay actionable.
+func TestScenarioValidateErrorPaths(t *testing.T) {
+	base := func() *qma.Scenario {
+		return &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 10,
+			Traffic:         []qma.Traffic{{Origin: 0, Phases: []qma.Phase{{Rate: 1}}}},
+		}
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*qma.Scenario)
+		wantErr string
+	}{
+		{"negative traffic origin", func(s *qma.Scenario) {
+			s.Traffic[0].Origin = -1
+		}, "out of range"},
+		{"broadcast origin range", func(s *qma.Scenario) {
+			s.Broadcasts = []qma.Broadcast{{Origin: 9, PeriodSeconds: 1}}
+		}, "out of range"},
+		{"negative broadcast period", func(s *qma.Scenario) {
+			s.Broadcasts = []qma.Broadcast{{Origin: 0, PeriodSeconds: -2}}
+		}, "positive period"},
+		{"negative MAC", func(s *qma.Scenario) {
+			s.MAC = qma.MAC(-1)
+		}, "unknown MAC"},
+		{"GE negative sojourn", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Channel: qma.GilbertElliott{MeanGoodSeconds: -1, MeanBadSeconds: 1}}
+		}, "must not be negative"},
+		{"GE one-sided sojourn", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Channel: qma.GilbertElliott{MeanGoodSeconds: 5}}
+		}, "both MeanGoodSeconds and MeanBadSeconds"},
+		{"GE loss out of range", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Channel: qma.GilbertElliott{
+				MeanGoodSeconds: 5, MeanBadSeconds: 1, LossBad: 1.5}}
+		}, "[0,1]"},
+		{"fade node range", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Fades: []qma.Fade{{Node: 3, AtSeconds: 1, ForSeconds: 1}}}
+		}, "fade node"},
+		{"fade in the past", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Fades: []qma.Fade{{Node: 0, AtSeconds: -1, ForSeconds: 1}}}
+		}, "past"},
+		{"fade without duration", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Fades: []qma.Fade{{Node: 0, AtSeconds: 1}}}
+		}, "positive duration"},
+		{"churn node range", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Churn: []qma.Churn{{Node: -2, AtSeconds: 1}}}
+		}, "churn node"},
+		{"churn in the past", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Churn: []qma.Churn{{Node: 0, AtSeconds: -1}}}
+		}, "past"},
+		{"moves on a graph topology", func(s *qma.Scenario) {
+			s.Dynamics = &qma.Dynamics{Moves: []qma.Move{{Node: 0, AtSeconds: 1, X: 5, Y: 5}}}
+		}, "position-based topology"},
+	}
+	for _, tc := range cases {
+		sc := base()
+		tc.mutate(sc)
+		err := sc.Validate()
+		if err == nil {
+			t.Errorf("%s: Validate accepted a bad scenario", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.wantErr)
+		}
+		if _, err := sc.Run(); err == nil {
+			t.Errorf("%s: Run accepted a bad scenario", tc.name)
+		}
+	}
+
+	// Move validation on a position-based topology checks node bounds.
+	sc := &qma.Scenario{
+		Topology:        qma.Star17(),
+		DurationSeconds: 10,
+		Dynamics:        &qma.Dynamics{Moves: []qma.Move{{Node: 99, AtSeconds: 1}}},
+	}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "move node") {
+		t.Errorf("move node range: got %v", err)
+	}
+	sc.Dynamics.Moves[0] = qma.Move{Node: 1, AtSeconds: -1}
+	if err := sc.Validate(); err == nil || !strings.Contains(err.Error(), "past") {
+		t.Errorf("move in the past: got %v", err)
+	}
+}
+
+// TestScenarioValidateAccepts pins the valid configurations, including a
+// fully loaded dynamics block on a position-based topology.
+func TestScenarioValidateAccepts(t *testing.T) {
+	ok := []*qma.Scenario{
+		{Topology: qma.HiddenNode(), DurationSeconds: 1},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1,
+			Explorer: &qma.Explorer{Kind: "epsilon", Eps0: 0.5}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1,
+			Explorer: &qma.Explorer{Kind: "constant", Eps0: 0.1}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1,
+			Dynamics: &qma.Dynamics{}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1,
+			Dynamics: &qma.Dynamics{
+				Channel: qma.GilbertElliott{MeanGoodSeconds: 5, MeanBadSeconds: 0.5, LossBad: 1},
+				Fades:   []qma.Fade{{Node: 1, AtSeconds: 2, ForSeconds: 3}},
+				Churn:   []qma.Churn{{Node: 0, AtSeconds: 1, Leave: true}, {Node: 0, AtSeconds: 2}},
+			}},
+		{Topology: qma.Star17(), DurationSeconds: 1,
+			Dynamics: &qma.Dynamics{Moves: []qma.Move{{Node: 3, AtSeconds: 0.5, X: 1, Y: -2}}}},
+	}
+	for i, sc := range ok {
+		if err := sc.Validate(); err != nil {
+			t.Errorf("case %d: Validate rejected a good scenario: %v", i, err)
+		}
+	}
+}
+
+// TestZeroDynamicsIsByteIdentical pins the headline guarantee at the public
+// API: attaching an empty Dynamics block changes nothing about a run.
+func TestZeroDynamicsIsByteIdentical(t *testing.T) {
+	run := func(dyn *qma.Dynamics) *qma.Result {
+		sc := &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 30,
+			Seed:            7,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+			},
+			Dynamics: dyn,
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	static := run(nil)
+	zero := run(&qma.Dynamics{})
+	if !reflect.DeepEqual(static, zero) {
+		t.Fatal("a zero-valued Dynamics block changed the run's results")
+	}
+}
+
+// TestDynamicsEndToEnd exercises every dynamics mechanism together through
+// the public API on a position-based topology and sanity-checks that the
+// disturbances actually bite (the PDR drops versus the static run).
+func TestDynamicsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	build := func(dyn *qma.Dynamics) *qma.Scenario {
+		sc := &qma.Scenario{
+			Topology:        qma.Star17(),
+			DurationSeconds: 60,
+			Seed:            3,
+			Dynamics:        dyn,
+		}
+		for i := 1; i < sc.Topology.NumNodes(); i++ {
+			sc.Traffic = append(sc.Traffic,
+				qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: 2}}, StartSeconds: 1})
+		}
+		return sc
+	}
+	static, err := build(nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	disturbed, err := build(&qma.Dynamics{
+		Channel: qma.GilbertElliott{MeanGoodSeconds: 4, MeanBadSeconds: 0.5, LossBad: 1},
+		Fades:   []qma.Fade{{Node: 0, AtSeconds: 20, ForSeconds: 5}},
+		Churn: []qma.Churn{
+			{Node: 5, AtSeconds: 10, Leave: true},
+			{Node: 5, AtSeconds: 30},
+		},
+		Moves: []qma.Move{
+			{Node: 7, AtSeconds: 15, X: 500, Y: 500}, // out of radio range
+			{Node: 7, AtSeconds: 40, X: 1, Y: 1},     // back next to the hub
+		},
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if disturbed.NetworkPDR >= static.NetworkPDR {
+		t.Errorf("disturbances did not reduce PDR: static %.3f, disturbed %.3f",
+			static.NetworkPDR, disturbed.NetworkPDR)
+	}
+	if disturbed.NetworkPDR <= 0.1 {
+		t.Errorf("disturbed PDR %.3f implausibly low — dynamics broke the run", disturbed.NetworkPDR)
+	}
+	// Repeatability under dynamics.
+	again, err := build(&qma.Dynamics{
+		Channel: qma.GilbertElliott{MeanGoodSeconds: 4, MeanBadSeconds: 0.5, LossBad: 1},
+		Fades:   []qma.Fade{{Node: 0, AtSeconds: 20, ForSeconds: 5}},
+		Churn: []qma.Churn{
+			{Node: 5, AtSeconds: 10, Leave: true},
+			{Node: 5, AtSeconds: 30},
+		},
+		Moves: []qma.Move{
+			{Node: 7, AtSeconds: 15, X: 500, Y: 500},
+			{Node: 7, AtSeconds: 40, X: 1, Y: 1},
+		},
+	}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(disturbed, again) {
+		t.Error("identical dynamic scenarios produced different results")
+	}
+}
