@@ -207,6 +207,39 @@ func BenchmarkFactoryHallEventsPerSec(b *testing.B) {
 	}
 }
 
+// BenchmarkProtocolMatrix measures end-to-end simulation throughput per
+// registered MAC protocol: one simulated second of the 10-node testbed tree
+// per iteration with δ=2 from every non-sink node, reporting kernel events
+// per wall-clock second. The sub-benchmarks enumerate the registry, so a new
+// protocol package appears here without edits.
+func BenchmarkProtocolMatrix(b *testing.B) {
+	for _, mk := range qma.MACs() {
+		b.Run(string(mk), func(b *testing.B) {
+			topo := qma.Tree10()
+			sc := &qma.Scenario{
+				Topology:        topo,
+				MAC:             mk,
+				Seed:            1,
+				DurationSeconds: float64(b.N),
+			}
+			for i := 0; i < topo.NumNodes(); i++ {
+				if i == topo.Sink() {
+					continue
+				}
+				sc.Traffic = append(sc.Traffic,
+					qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: 2}}})
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			res, err := sc.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(res.Events)/b.Elapsed().Seconds(), "events/s")
+		})
+	}
+}
+
 // BenchmarkHandshakeMatrix measures the Eq. 11 fundamental-matrix solve.
 func BenchmarkHandshakeMatrix(b *testing.B) {
 	b.ReportAllocs()

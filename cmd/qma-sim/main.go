@@ -20,7 +20,7 @@ import (
 
 func main() {
 	topology := flag.String("topology", "hidden", "hidden | tree | star | rings1..rings4")
-	mac := flag.String("mac", "qma", "qma | unslotted | slotted")
+	mac := flag.String("mac", "qma", "MAC protocol: "+macNames()+" (aliases like unslotted/slotted work too)")
 	delta := flag.Float64("delta", 10, "packet generation rate per source [pkt/s]")
 	duration := flag.Float64("duration", 200, "simulated seconds")
 	warmup := flag.Float64("warmup", 50, "seconds before evaluation traffic / measurement")
@@ -36,7 +36,7 @@ func main() {
 	geGood := flag.Float64("ge-good", 10, "Gilbert–Elliott mean good-state sojourn in seconds")
 	flag.Parse()
 
-	mk, err := parseMAC(*mac)
+	mk, err := qma.ParseMAC(*mac)
 	fatalIf(err)
 
 	wantDynamics := *dynamics || *geBad > 0
@@ -184,16 +184,15 @@ func parseTopology(s string) (*qma.Topology, error) {
 	return nil, fmt.Errorf("unknown topology %q", s)
 }
 
-func parseMAC(s string) (qma.MAC, error) {
-	switch s {
-	case "qma":
-		return qma.QMA, nil
-	case "unslotted":
-		return qma.CSMAUnslotted, nil
-	case "slotted":
-		return qma.CSMASlotted, nil
+// macNames renders the registered protocol keys for the -mac usage string;
+// the registry is the single source of truth, so new protocols appear here
+// without CLI changes.
+func macNames() string {
+	var names []string
+	for _, m := range qma.MACs() {
+		names = append(names, string(m))
 	}
-	return 0, fmt.Errorf("unknown MAC %q", s)
+	return strings.Join(names, " | ")
 }
 
 func fatalIf(err error) {

@@ -67,10 +67,10 @@ func (s *DSMEScenario) Validate() error {
 		return errors.New("qma: DSMEScenario.DurationSeconds must be positive")
 	case s.WarmupSeconds < 0 || s.WarmupSeconds >= s.DurationSeconds:
 		return fmt.Errorf("qma: WarmupSeconds=%v out of [0, duration)", s.WarmupSeconds)
-	case s.MAC < QMA || s.MAC > CSMASlotted:
-		return fmt.Errorf("qma: unknown MAC %d", s.MAC)
+	case s.Table < TableFloat || s.Table > TableQuant:
+		return fmt.Errorf("qma: unknown table kind %d", s.Table)
 	}
-	return nil
+	return s.MAC.validate()
 }
 
 // Run executes the scenario and returns its metrics.

@@ -1,0 +1,45 @@
+package aloha
+
+import (
+	"qma/internal/mac"
+	"qma/internal/sim"
+)
+
+func init() {
+	for _, reg := range []struct {
+		name, alias, display string
+		variant              Variant
+	}{
+		{ProtoPure, "pure-aloha", "pure ALOHA", Pure},
+		{ProtoSlotted, "s-aloha", "slotted ALOHA", Slotted},
+	} {
+		reg := reg
+		mac.Register(mac.Protocol{
+			Name:     reg.name,
+			Aliases:  []string{reg.alias},
+			Display:  reg.display,
+			Validate: func(opts any) error { return validateOptions(reg.name, opts) },
+			New: func(cfg mac.Config, opts any, rng *sim.Rand) mac.Engine {
+				var o Options
+				if opts != nil {
+					o = opts.(Options)
+				}
+				return New(Config{
+					MAC: cfg, Variant: reg.variant, Rng: rng,
+					MinBE: o.MinBE, MaxBE: o.MaxBE,
+				})
+			},
+		})
+	}
+}
+
+func validateOptions(proto string, opts any) error {
+	if opts == nil {
+		return nil
+	}
+	o, ok := opts.(Options)
+	if !ok {
+		return mac.OptionsError(proto, opts, Options{})
+	}
+	return mac.ValidateBEB("aloha", o.MinBE, o.MaxBE, DefaultMinBE, DefaultMaxBE)
+}

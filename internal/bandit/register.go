@@ -1,0 +1,43 @@
+package bandit
+
+import (
+	"fmt"
+
+	"qma/internal/mac"
+	"qma/internal/sim"
+)
+
+func init() {
+	mac.Register(mac.Protocol{
+		Name:     Proto,
+		Aliases:  []string{"mab"},
+		Display:  "slot bandit",
+		Validate: validateOptions,
+		New: func(cfg mac.Config, opts any, rng *sim.Rand) mac.Engine {
+			var o Options
+			if opts != nil {
+				o = opts.(Options)
+			}
+			return New(Config{
+				MAC: cfg, Picker: o.Picker, Explorer: o.Explorer, UCBC: o.UCBC, Rng: rng,
+			})
+		},
+	})
+}
+
+func validateOptions(opts any) error {
+	if opts == nil {
+		return nil
+	}
+	o, ok := opts.(Options)
+	if !ok {
+		return mac.OptionsError(Proto, opts, Options{})
+	}
+	if o.Picker > UCB1 {
+		return fmt.Errorf("bandit: unknown picker %d", o.Picker)
+	}
+	if o.UCBC < 0 {
+		return fmt.Errorf("bandit: UCBC must not be negative, got %g", o.UCBC)
+	}
+	return nil
+}

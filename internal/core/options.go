@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"qma/internal/mac"
+	"qma/internal/qlearn"
+	"qma/internal/sim"
+)
+
+// ProtocolName is QMA's canonical registry key.
+const ProtocolName = "qma"
+
+// TableKind selects the Q-value storage for QMA nodes.
+type TableKind uint8
+
+const (
+	// TableFloat is the float64 reference table.
+	TableFloat TableKind = iota
+	// TableFixed is the Q8.8 integer table (§3.2 embedded variant).
+	TableFixed
+	// TableQuant is the 8-bit saturating table (§7 future-work variant).
+	TableQuant
+)
+
+// Options tunes the QMA engines of a scenario. It is the registry options
+// type for the "qma" protocol (scenario.QMAOptions aliases it).
+type Options struct {
+	// Learn are the hyperparameters (zero value selects the paper's
+	// α=0.5, γ=0.9, ξ=2).
+	Learn qlearn.Params
+	// Table selects the Q-value representation.
+	Table TableKind
+	// Explorer decides ρ; nil selects parameter-based exploration (Fig. 4).
+	Explorer qlearn.Explorer
+	// StartupSubslots is Δ; negative selects the engine default, 0 disables
+	// cautious startup.
+	StartupSubslots int
+	// DisableStartupPunish turns off the §4.3 QCCA/QSend punishments.
+	DisableStartupPunish bool
+	// ReevalOnDecay enables the policy-reevaluation ablation.
+	ReevalOnDecay bool
+}
+
+func init() {
+	mac.Register(mac.Protocol{
+		Name:     ProtocolName,
+		Display:  "QMA",
+		Validate: validateOptions,
+		New: func(cfg mac.Config, opts any, rng *sim.Rand) mac.Engine {
+			var o Options
+			if opts != nil {
+				o = opts.(Options)
+			}
+			return NewFromOptions(o, cfg, rng)
+		},
+	})
+}
+
+func validateOptions(opts any) error {
+	if opts == nil {
+		return nil
+	}
+	o, ok := opts.(Options)
+	if !ok {
+		return mac.OptionsError(ProtocolName, opts, Options{})
+	}
+	if o.Table > TableQuant {
+		return fmt.Errorf("core: unknown table kind %d", o.Table)
+	}
+	return nil
+}
+
+// NewFromOptions builds a QMA engine over macCfg from scenario-level options:
+// it resolves the table representation, the default hyperparameters and the
+// cautious-startup convention (scenario zero value = engine default, negative
+// = disabled) before delegating to New.
+func NewFromOptions(opts Options, macCfg mac.Config, rng *sim.Rand) *Engine {
+	subslots := macCfg.Clock.Config().Subslots
+	var table qlearn.Table
+	learn := opts.Learn
+	if learn == (qlearn.Params{}) {
+		learn = qlearn.DefaultParams()
+	}
+	switch opts.Table {
+	case TableFixed:
+		table = qlearn.NewFixedTable(subslots, NumActions, qlearn.DefaultFixedParams())
+	case TableQuant:
+		table = qlearn.NewQuantTable(subslots, NumActions, qlearn.DefaultQuantParams())
+	default:
+		table = qlearn.NewFloatTable(subslots, NumActions, learn)
+	}
+	startup := opts.StartupSubslots
+	switch {
+	case startup == 0:
+		// The scenario-level zero value means "engine default"; a
+		// negative value disables cautious startup.
+		startup = -1
+	case startup < 0:
+		startup = 0
+	}
+	return New(Config{
+		MAC:             macCfg,
+		Table:           table,
+		Learn:           learn,
+		Explorer:        opts.Explorer,
+		Rng:             rng,
+		StartupSubslots: startup,
+		StartupPunish:   !opts.DisableStartupPunish,
+		ReevalOnDecay:   opts.ReevalOnDecay,
+	})
+}

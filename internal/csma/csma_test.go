@@ -149,9 +149,124 @@ func TestRetryAfterAckLoss(t *testing.T) {
 	}
 }
 
+// TestBackoffExhaustionDropsFrame pins the channel-access-failure path for
+// both variants: with the channel jammed through every CCA, NB exceeds
+// macMaxCSMABackoffs and the frame must be dropped without ever reaching the
+// air — counted by the engine's AccessFailures and the MAC base's CSMAFails,
+// not by the retry counters.
+func TestBackoffExhaustionDropsFrame(t *testing.T) {
+	for _, v := range []Variant{Unslotted, Slotted} {
+		t.Run(v.String(), func(t *testing.T) {
+			// Nodes 2 and 3 jam node 0 with overlapping long broadcasts
+			// (4 ms each, started every 3 ms) across the first three
+			// superframes, so every CCA node 0 performs finds the channel
+			// busy.
+			r := newRig(t, [][2]int{{0, 1}, {0, 2}, {0, 3}}, 4, v)
+			for i := 0; sim.Time(i)*3*sim.Millisecond < 380*sim.Millisecond; i++ {
+				jammer := frame.NodeID(2 + i%2)
+				f := &frame.Frame{Kind: frame.Data, Src: jammer, Dst: frame.Broadcast,
+					Origin: jammer, Sink: frame.Broadcast, Seq: uint32(i + 1), MPDUBytes: 120}
+				r.k.At(sim.Time(i)*3*sim.Millisecond, func() { r.m.StartTX(jammer, f) })
+			}
+			r.engines[0].Enqueue(dataTo(1, 0, 1))
+			r.k.Run(600 * sim.Millisecond)
+
+			es := r.engines[0].EngineStats()
+			s := r.engines[0].Base().Stats()
+			if es.AccessFailures != 1 {
+				t.Errorf("AccessFailures = %d, want 1 (engine stats: %+v)", es.AccessFailures, es)
+			}
+			if s.CSMAFails != 1 {
+				t.Errorf("CSMAFails = %d, want 1 (base stats: %+v)", s.CSMAFails, s)
+			}
+			if s.TxAttempts != 0 || s.RetryDrops != 0 {
+				t.Errorf("frame reached the air or the retry path: %+v", s)
+			}
+			if !r.engines[0].Base().Queue().Empty() {
+				t.Error("dropped frame still queued")
+			}
+			if es.CCABusy <= uint64(MacMaxCSMABackoffs) {
+				t.Errorf("CCABusy = %d, want > macMaxCSMABackoffs=%d", es.CCABusy, MacMaxCSMABackoffs)
+			}
+		})
+	}
+}
+
+// TestSlottedCWRequiresTwoClearBoundaries pins the slotted variant's CW=2
+// contention window: one clear CCA is never enough to transmit. The jammer
+// occupies exactly every second 320 µs backoff period (a 352 µs burst
+// centred on the odd periods' CCA sample instant), so whenever the first
+// CCA finds its boundary clear, the mandatory second CCA on the next
+// boundary is busy — the transaction must restart its backoff every time
+// and exhaust, despite the channel being idle half the time.
+func TestSlottedCWRequiresTwoClearBoundaries(t *testing.T) {
+	r := newRig(t, [][2]int{{0, 1}, {0, 2}}, 3, Slotted)
+	cfg := r.clock.Config()
+	seq := uint32(0)
+	for sf := sim.Time(0); sf < 3; sf++ {
+		capStart := sf*cfg.SuperframeDuration() + cfg.CAPStartOffset()
+		capEnd := capStart + cfg.CAPDuration()
+		for k := sim.Time(0); ; k++ {
+			// Sample instants are boundary+128 µs; cover the odd
+			// boundaries' samples with a burst over [272 µs, 624 µs) of
+			// each 640 µs pair, leaving the even boundaries' samples clear.
+			start := capStart + k*2*UnitBackoffPeriod + 272*sim.Microsecond
+			f := &frame.Frame{Kind: frame.Data, Src: 2, Dst: frame.Broadcast,
+				Origin: 2, Sink: frame.Broadcast, MPDUBytes: 5}
+			if start+f.Duration() > capEnd {
+				break
+			}
+			seq++
+			f.Seq = seq
+			r.k.At(start, func() { r.m.StartTX(2, f) })
+		}
+	}
+	r.engines[0].Enqueue(dataTo(1, 0, 1))
+	r.k.Run(600 * sim.Millisecond)
+
+	es := r.engines[0].EngineStats()
+	s := r.engines[0].Base().Stats()
+	if s.TxAttempts != 0 {
+		t.Fatalf("transmitted %d frames without two consecutive clear CCAs", s.TxAttempts)
+	}
+	if es.AccessFailures != 1 || s.CSMAFails != 1 {
+		t.Errorf("exhaustion not reached: engine %+v, base CSMAFails=%d", es, s.CSMAFails)
+	}
+	if es.CCAAttempts <= es.CCABusy {
+		t.Errorf("no clear first CCA recorded (attempts=%d busy=%d) — the jam pattern is wrong",
+			es.CCAAttempts, es.CCABusy)
+	}
+}
+
 func TestVariantString(t *testing.T) {
 	if Unslotted.String() != "unslotted" || Slotted.String() != "slotted" {
 		t.Error("variant names wrong")
+	}
+}
+
+// TestOptionsValidation pins the registry-level option checks: exponents
+// that would overflow the backoff draw and min/max inversions (including
+// against the defaulted counterpart) must be rejected.
+func TestOptionsValidation(t *testing.T) {
+	for name, o := range map[string]Options{
+		"negative":              {MinBE: -1},
+		"overflowing exponent":  {MinBE: 33, MaxBE: 33},
+		"min above max":         {MinBE: 5, MaxBE: 4},
+		"min above default max": {MinBE: 6},
+		"negative max backoffs": {MaxBackoffs: -2},
+	} {
+		if err := validateOptions(ProtoUnslotted, o); err == nil {
+			t.Errorf("%s: validateOptions accepted %+v", name, o)
+		}
+	}
+	for name, o := range map[string]Options{
+		"zero value": {},
+		"custom":     {MinBE: 2, MaxBE: 6, MaxBackoffs: 5},
+		"max only":   {MaxBE: 8},
+	} {
+		if err := validateOptions(ProtoUnslotted, o); err != nil {
+			t.Errorf("%s: validateOptions rejected %+v: %v", name, o, err)
+		}
 	}
 }
 

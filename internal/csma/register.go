@@ -1,0 +1,64 @@
+package csma
+
+import (
+	"fmt"
+
+	"qma/internal/mac"
+	"qma/internal/sim"
+)
+
+// Canonical registry keys of the two CSMA/CA variants.
+const (
+	ProtoUnslotted = "csma-unslotted"
+	ProtoSlotted   = "csma-slotted"
+)
+
+// Options tunes a CSMA/CA engine through the protocol registry. The zero
+// value (or nil options) selects the 802.15.4 defaults.
+type Options struct {
+	// MinBE, MaxBE and MaxBackoffs override the standard's defaults when
+	// positive (macMinBE=3, macMaxBE=5, macMaxCSMABackoffs=4).
+	MinBE, MaxBE, MaxBackoffs int
+}
+
+func init() {
+	for _, reg := range []struct {
+		name, alias, display string
+		variant              Variant
+	}{
+		{ProtoUnslotted, "unslotted", "unslotted CSMA/CA", Unslotted},
+		{ProtoSlotted, "slotted", "slotted CSMA/CA", Slotted},
+	} {
+		reg := reg
+		mac.Register(mac.Protocol{
+			Name:     reg.name,
+			Aliases:  []string{reg.alias},
+			Display:  reg.display,
+			Validate: func(opts any) error { return validateOptions(reg.name, opts) },
+			New: func(cfg mac.Config, opts any, rng *sim.Rand) mac.Engine {
+				var o Options
+				if opts != nil {
+					o = opts.(Options)
+				}
+				return New(Config{
+					MAC: cfg, Variant: reg.variant, Rng: rng,
+					MinBE: o.MinBE, MaxBE: o.MaxBE, MaxBackoffs: o.MaxBackoffs,
+				})
+			},
+		})
+	}
+}
+
+func validateOptions(proto string, opts any) error {
+	if opts == nil {
+		return nil
+	}
+	o, ok := opts.(Options)
+	if !ok {
+		return mac.OptionsError(proto, opts, Options{})
+	}
+	if o.MaxBackoffs < 0 {
+		return fmt.Errorf("csma: MaxBackoffs must not be negative: %d", o.MaxBackoffs)
+	}
+	return mac.ValidateBEB("csma", o.MinBE, o.MaxBE, MacMinBE, MacMaxBE)
+}

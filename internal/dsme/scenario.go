@@ -103,7 +103,7 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 			Metrics:    metrics,
 			FramePool:  pool,
 		})
-		engine := scenario.BuildEngine(cfg.MAC, cfg.QMA, mac.Config{
+		engine := scenario.BuildEngine(cfg.MAC, scenario.DefaultQMAOptions(cfg.MAC, cfg.QMA), mac.Config{
 			ID:        id,
 			Kernel:    kernel,
 			Medium:    medium,

@@ -1,0 +1,144 @@
+package experiments
+
+import (
+	"fmt"
+
+	"qma/internal/energy"
+	"qma/internal/frame"
+	"qma/internal/mac"
+	"qma/internal/scenario"
+	"qma/internal/sim"
+	"qma/internal/stats"
+	"qma/internal/superframe"
+	"qma/internal/topo"
+	"qma/internal/traffic"
+)
+
+func init() {
+	register("baselines", RunBaselines)
+}
+
+// baselineCase is one topology of the cross-protocol comparison. The rate is
+// chosen per topology so every protocol runs the same offered load in the
+// regime where the paper's comparison is interesting: the hidden-node pair at
+// the δ=10 knee where carrier sensing stops helping, the testbed tree and the
+// factory hall in the sub-saturation regime multi-hop forwarding allows.
+type baselineCase struct {
+	name  string
+	net   *topo.Network
+	delta float64
+}
+
+func baselineCases() []baselineCase {
+	return []baselineCase{
+		{"hidden-node", topo.HiddenNode(), 10},
+		{"tree10", topo.Tree10(), 3},
+		{"factory-hall-40", topo.FactoryHall(topo.FactoryConfig{Nodes: 40, Seed: 42}), 2},
+	}
+}
+
+// baselineMACs returns every registered protocol, in the registry's canonical
+// order. The list is resolved at run time, so a newly registered protocol
+// package joins the comparison without any edit here — the property the
+// registry refactor exists to guarantee.
+func baselineMACs() []scenario.MACKind {
+	return mac.Names()
+}
+
+// baselineConfig builds one run of the family: every routed non-sink node
+// streams Poisson(δ) evaluation traffic towards the sink after a low-rate
+// management phase, identically for every protocol under test.
+func baselineConfig(c baselineCase, mk scenario.MACKind, mode Mode, seed uint64) scenario.Config {
+	gen := sim.FromSeconds(float64(mode.Packets) / c.delta)
+	cfg := scenario.Config{
+		Network:     c.net,
+		MAC:         mk,
+		Seed:        seed,
+		Duration:    mode.Warmup + gen + 30*sim.Second,
+		MeasureFrom: mode.Warmup,
+	}
+	for i := 0; i < c.net.NumNodes(); i++ {
+		id := frame.NodeID(i)
+		if id == c.net.Sink || c.net.Depth(id) < 0 {
+			continue
+		}
+		cfg.Traffic = append(cfg.Traffic,
+			scenario.TrafficSpec{Origin: id, Phases: []traffic.Phase{{Rate: 0.2}},
+				StartAt: 1 * sim.Second, Tag: frame.TagManagement},
+			scenario.TrafficSpec{Origin: id, Phases: []traffic.Phase{{Rate: c.delta}},
+				StartAt: mode.Warmup, MaxPackets: mode.Packets, Tag: frame.TagEval},
+		)
+	}
+	return cfg
+}
+
+// RunBaselines compares every registered MAC protocol — QMA, both CSMA/CA
+// variants, pure and slotted ALOHA and the slot-bandit learner — on the
+// hidden-node pair, the 10-node testbed tree and a 40-node factory hall:
+// delivery, end-to-end latency, transmission cost per delivered packet and
+// radio energy per delivered packet (AT86RF231 model, shared listening
+// floor). One table per topology, one row per protocol.
+func RunBaselines(mode Mode) []*Table {
+	cases := baselineCases()
+	macs := baselineMACs()
+	profile := energy.AT86RF231()
+	capDuty := float64(superframe.DefaultConfig().CAPDuration()) / float64(superframe.DefaultConfig().SuperframeDuration())
+
+	// One grid cell per (topology, protocol) pair; the whole family shares
+	// one worker pool.
+	est := stats.ReplicateGrid(len(cases)*len(macs), mode.Reps, mode.Parallel,
+		func(cell int, seed uint64) map[string]float64 {
+			c, mk := cases[cell/len(macs)], macs[cell%len(macs)]
+			cfg := baselineConfig(c, mk, mode, seed)
+			res := scenario.Run(cfg)
+			capOn := sim.Time(float64(cfg.Duration) * capDuty)
+			var attempts, mj, delivered float64
+			for _, n := range res.Nodes {
+				attempts += float64(n.MAC.TxAttempts)
+				mj += energy.Account(profile, cfg.Duration, capOn, n.Radio).TotalMilliJoule()
+				delivered += float64(n.Delivered)
+			}
+			out := map[string]float64{
+				"pdr":       res.NetworkPDR(),
+				"delay":     res.MeanDelay(),
+				"delivered": delivered,
+			}
+			if delivered > 0 {
+				out["attPerPkt"] = attempts / delivered
+				out["mjPerPkt"] = mj / delivered
+			}
+			return out
+		})
+
+	var tables []*Table
+	for ti, c := range cases {
+		t := &Table{
+			ID:    "Baselines/" + c.name,
+			Title: fmt.Sprintf("cross-protocol comparison on %s (δ=%g pkt/s per source)", c.name, c.delta),
+			Columns: []string{
+				"protocol", "PDR", "delay [s]", "attempts/delivered", "energy/delivered [mJ]",
+			},
+		}
+		for mi, mk := range macs {
+			e := est[ti*len(macs)+mi]
+			// The per-delivered ratios are undefined when nothing arrived;
+			// render n/a instead of a zero that reads like a perfect score.
+			att, mjp := "n/a", "n/a"
+			if e["delivered"].Mean > 0 {
+				att = ci(e["attPerPkt"].Mean, e["attPerPkt"].CI)
+				mjp = ci(e["mjPerPkt"].Mean, e["mjPerPkt"].CI)
+			}
+			t.AddRow(mk.String(),
+				ci(e["pdr"].Mean, e["pdr"].CI),
+				ci(e["delay"].Mean, e["delay"].CI),
+				att, mjp)
+		}
+		tables = append(tables, t)
+	}
+	tables[0].Notes = append(tables[0].Notes,
+		"protocol rows come from the registry (mac.Names()): a newly registered protocol package joins this family without edits here",
+		"at the hidden-node pair carrier sensing cannot see the competing transmitter, so CSMA/CA buys nothing over ALOHA's random backoff (and wastes CAP on CCAs); QMA's learned schedule sidesteps the collisions entirely. In the multi-hop topologies the ordering flips: carrier sensing defers to the relay's traffic, pure ALOHA tramples it",
+		"the slot bandit converges on a collision-free slot but serves at most ~1 frame per superframe per node, which caps its throughput and delay",
+		"the energy column is dominated by the shared CAP listening floor (§6.2.1), so it mostly tracks 1/delivered")
+	return tables
+}

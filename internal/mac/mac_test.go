@@ -155,6 +155,65 @@ func TestDuplicateRejection(t *testing.T) {
 	}
 }
 
+// TestDuplicateRejectionUnderRetransmission drives the full ACK-loss round
+// trip instead of injecting duplicates by hand: the data frame is delivered
+// but its ACK is killed by a deep fade at the sender, the sender's retry
+// policy retransmits the same frame, and the receiver must reject the copy
+// as a duplicate while still re-ACKing it — so the retransmission succeeds
+// and the frame finally leaves the queue, delivered exactly once.
+func TestDuplicateRejectionUnderRetransmission(t *testing.T) {
+	delivered := 0
+	r := newRig(t, 2, []Config{{}, {OnSinkDeliver: func(*frame.Frame) { delivered++ }}})
+	sender, receiver := r.bases[0], r.bases[1]
+
+	f := testData(0, 1, 7)
+	sender.Enqueue(f)
+
+	outcomes := []bool{}
+	var send func()
+	send = func() {
+		sender.SendFrame(f, func(success bool) {
+			outcomes = append(outcomes, success)
+			if sender.FinishFrame(f, success) {
+				return
+			}
+			// Retry once the fade is over and the node is idle again.
+			r.k.At(sender.BusyUntil()+5*sim.Millisecond, send)
+		})
+	}
+	send()
+	// The data frame delivers at its airtime end; fade the sender from just
+	// after that until past the ACK arrival, so only the ACK is lost.
+	r.k.At(f.Duration()+1*sim.Microsecond, func() {
+		r.m.SetFadeUntil(0, f.Duration()+frame.TurnaroundTime+frame.AckDuration+10*sim.Microsecond)
+	})
+	r.k.Run(1 * sim.Second)
+
+	if want := []bool{false, true}; len(outcomes) != 2 || outcomes[0] != want[0] || outcomes[1] != want[1] {
+		t.Fatalf("outcomes = %v, want [false true] (ACK lost, retry ACKed)", outcomes)
+	}
+	if f.Retries != 1 {
+		t.Errorf("Retries = %d, want 1", f.Retries)
+	}
+	rs := receiver.Stats()
+	if rs.Delivered != 1 || delivered != 1 {
+		t.Errorf("Delivered = %d (sink callback %d), want exactly once", rs.Delivered, delivered)
+	}
+	if rs.Duplicates != 1 {
+		t.Errorf("Duplicates = %d, want 1 (the retransmission)", rs.Duplicates)
+	}
+	if rs.AcksSent != 2 {
+		t.Errorf("AcksSent = %d, want 2 (duplicates are re-ACKed)", rs.AcksSent)
+	}
+	ss := sender.Stats()
+	if ss.TxFail != 1 || ss.TxSuccess != 1 || ss.RetryDrops != 0 {
+		t.Errorf("sender stats: %+v", ss)
+	}
+	if !sender.Queue().Empty() {
+		t.Error("acknowledged frame still queued")
+	}
+}
+
 type tableRouter map[frame.NodeID]frame.NodeID
 
 func (r tableRouter) NextHop(from, sink frame.NodeID) (frame.NodeID, bool) {

@@ -13,7 +13,6 @@ import (
 	"qma/internal/csma"
 	"qma/internal/frame"
 	"qma/internal/mac"
-	"qma/internal/qlearn"
 	"qma/internal/radio"
 	"qma/internal/sim"
 	"qma/internal/stats"
@@ -22,61 +21,36 @@ import (
 	"qma/internal/traffic"
 )
 
-// MACKind selects the channel access scheme under test.
-type MACKind uint8
+// MACKind selects the channel access scheme under test by its registry key
+// (see internal/mac's protocol registry). The empty string selects QMA.
+type MACKind = mac.Name
 
+// Registry keys of the protocols every evaluation track compares. Further
+// protocols (internal/aloha, internal/bandit, ...) are addressed by the
+// constants their own packages export.
 const (
 	// QMA is the paper's Q-learning MAC.
-	QMA MACKind = iota
+	QMA MACKind = core.ProtocolName
 	// CSMAUnslotted is the unslotted CSMA/CA baseline.
-	CSMAUnslotted
+	CSMAUnslotted MACKind = csma.ProtoUnslotted
 	// CSMASlotted is the slotted CSMA/CA baseline.
-	CSMASlotted
+	CSMASlotted MACKind = csma.ProtoSlotted
 )
 
-// String implements fmt.Stringer.
-func (k MACKind) String() string {
-	switch k {
-	case QMA:
-		return "QMA"
-	case CSMAUnslotted:
-		return "unslotted CSMA/CA"
-	case CSMASlotted:
-		return "slotted CSMA/CA"
-	default:
-		return fmt.Sprintf("MACKind(%d)", uint8(k))
-	}
-}
-
 // TableKind selects the Q-value storage for QMA nodes.
-type TableKind uint8
+type TableKind = core.TableKind
 
 const (
 	// TableFloat is the float64 reference table.
-	TableFloat TableKind = iota
+	TableFloat = core.TableFloat
 	// TableFixed is the Q8.8 integer table (§3.2 embedded variant).
-	TableFixed
+	TableFixed = core.TableFixed
 	// TableQuant is the 8-bit saturating table (§7 future-work variant).
-	TableQuant
+	TableQuant = core.TableQuant
 )
 
 // QMAOptions tunes the QMA engines of a scenario.
-type QMAOptions struct {
-	// Learn are the hyperparameters (zero value selects the paper's
-	// α=0.5, γ=0.9, ξ=2).
-	Learn qlearn.Params
-	// Table selects the Q-value representation.
-	Table TableKind
-	// Explorer decides ρ; nil selects parameter-based exploration (Fig. 4).
-	Explorer qlearn.Explorer
-	// StartupSubslots is Δ; negative selects the engine default, 0 disables
-	// cautious startup.
-	StartupSubslots int
-	// DisableStartupPunish turns off the §4.3 QCCA/QSend punishments.
-	DisableStartupPunish bool
-	// ReevalOnDecay enables the policy-reevaluation ablation.
-	ReevalOnDecay bool
-}
+type QMAOptions = core.Options
 
 // TrafficSpec attaches a Poisson data source to a node.
 type TrafficSpec struct {
@@ -153,10 +127,14 @@ func (d *DynamicsConfig) Enabled() bool {
 type Config struct {
 	// Network is the topology with routing; required.
 	Network *topo.Network
-	// MAC selects the channel access scheme.
+	// MAC selects the channel access scheme by registry key ("" = QMA).
 	MAC MACKind
-	// QMA tunes QMA engines (ignored for CSMA runs).
+	// QMA tunes QMA engines (ignored for other protocols).
 	QMA QMAOptions
+	// MACOptions carries protocol-specific options for non-QMA protocols
+	// (e.g. csma.Options, aloha.Options, bandit.Options); nil selects the
+	// protocol's defaults. When set it also overrides QMA for QMA runs.
+	MACOptions any
 	// Superframe overrides the DSME timing (zero value selects the default).
 	Superframe superframe.Config
 	// QueueCap bounds the transmit queues (0 selects the paper's 8).
@@ -455,61 +433,54 @@ func (r *run) macConfig(id frame.NodeID) mac.Config {
 
 func (r *run) buildEngine(id frame.NodeID) mac.Engine {
 	rng := sim.NewRandStream(r.cfg.Seed, uint64(id))
-	e := BuildEngine(r.cfg.MAC, r.cfg.QMA, r.macConfig(id), rng)
+	opts := r.cfg.MACOptions
+	if opts == nil {
+		opts = DefaultQMAOptions(r.cfg.MAC, r.cfg.QMA)
+	}
+	e := BuildEngine(r.cfg.MAC, opts, r.macConfig(id), rng)
 	if q, ok := e.(*core.Engine); ok {
 		r.qma[id] = q
 	}
 	return e
 }
 
-// BuildEngine constructs a MAC engine of the requested kind over macCfg.
-// The DSME scenario builder (internal/dsme) shares it so that both
-// evaluation tracks run byte-identical engines.
-func BuildEngine(kind MACKind, opts QMAOptions, macCfg mac.Config, rng *sim.Rand) mac.Engine {
-	switch kind {
-	case QMA:
-		subslots := macCfg.Clock.Config().Subslots
-		var table qlearn.Table
-		learn := opts.Learn
-		if learn == (qlearn.Params{}) {
-			learn = qlearn.DefaultParams()
-		}
-		switch opts.Table {
-		case TableFixed:
-			table = qlearn.NewFixedTable(subslots, core.NumActions, qlearn.DefaultFixedParams())
-		case TableQuant:
-			table = qlearn.NewQuantTable(subslots, core.NumActions, qlearn.DefaultQuantParams())
-		default:
-			table = qlearn.NewFloatTable(subslots, core.NumActions, learn)
-		}
-		startup := opts.StartupSubslots
-		switch {
-		case startup == 0:
-			// The scenario-level zero value means "engine default"; a
-			// negative value disables cautious startup.
-			startup = -1
-		case startup < 0:
-			startup = 0
-		}
-		return core.New(core.Config{
-			MAC:             macCfg,
-			Table:           table,
-			Learn:           learn,
-			Explorer:        opts.Explorer,
-			Rng:             rng,
-			StartupSubslots: startup,
-			StartupPunish:   !opts.DisableStartupPunish,
-			ReevalOnDecay:   opts.ReevalOnDecay,
-		})
-	case CSMAUnslotted, CSMASlotted:
-		variant := csma.Unslotted
-		if kind == CSMASlotted {
-			variant = csma.Slotted
-		}
-		return csma.New(csma.Config{MAC: macCfg, Variant: variant, Rng: rng})
-	default:
-		panic(fmt.Sprintf("scenario: unknown MAC kind %d", kind))
+// DefaultQMAOptions resolves the Config.QMA convenience fallback: configs
+// carry a QMAOptions value unconditionally, but it only applies when the
+// selected protocol actually is QMA — every other protocol defaults (nil).
+// Keeping the coercion here, at the fallback call sites, lets BuildEngine
+// reject explicitly misconfigured MACOptions loudly instead of masking them.
+func DefaultQMAOptions(kind MACKind, qmaOpts QMAOptions) any {
+	if kind == "" {
+		return qmaOpts
 	}
+	if p, ok := mac.Lookup(string(kind)); ok && p.Name == string(QMA) {
+		return qmaOpts
+	}
+	return nil
+}
+
+// BuildEngine constructs a MAC engine of the requested kind over macCfg by
+// resolving the protocol registry. The DSME scenario builder (internal/dsme)
+// shares it so that both evaluation tracks run byte-identical engines.
+//
+// opts carries protocol-specific options (nil = defaults) and must match the
+// protocol's registered options type — handing e.g. QMAOptions to a CSMA run
+// panics via the protocol's Validate. Callers threading a config-level
+// QMAOptions value unconditionally resolve it through DefaultQMAOptions
+// first.
+//
+// It panics on an unknown protocol or rejected options: scenario assembly is
+// programmer-controlled, and the public qma API validates protocol names
+// before reaching this point.
+func BuildEngine(kind MACKind, opts any, macCfg mac.Config, rng *sim.Rand) mac.Engine {
+	if kind == "" {
+		kind = QMA
+	}
+	e, err := mac.Build(string(kind), macCfg, opts, rng)
+	if err != nil {
+		panic(fmt.Sprintf("scenario: %v", err))
+	}
+	return e
 }
 
 func (r *run) buildTraffic() {

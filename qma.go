@@ -24,7 +24,12 @@ import (
 	"errors"
 	"fmt"
 
+	"qma/internal/aloha"
+	"qma/internal/bandit"
+	"qma/internal/core"
+	"qma/internal/csma"
 	"qma/internal/frame"
+	"qma/internal/mac"
 	"qma/internal/qlearn"
 	"qma/internal/radio"
 	"qma/internal/scenario"
@@ -34,30 +39,88 @@ import (
 	"qma/internal/traffic"
 )
 
-// MAC selects a channel access scheme.
-type MAC int
+// MAC selects a channel access scheme by its protocol registry key. The
+// zero value selects QMA. Use the exported constants, or ParseMAC to resolve
+// CLI-style names and aliases; Scenario.Validate rejects unregistered keys
+// with ErrUnknownMAC.
+type MAC string
 
 const (
 	// QMA is the paper's Q-learning MAC.
-	QMA MAC = iota
+	QMA MAC = core.ProtocolName
 	// CSMAUnslotted is unslotted IEEE 802.15.4 CSMA/CA.
-	CSMAUnslotted
+	CSMAUnslotted MAC = csma.ProtoUnslotted
 	// CSMASlotted is slotted IEEE 802.15.4 CSMA/CA (CW=2).
-	CSMASlotted
+	CSMASlotted MAC = csma.ProtoSlotted
+	// Aloha is pure ALOHA: transmit immediately, no carrier sensing.
+	Aloha MAC = aloha.ProtoPure
+	// SlottedAloha is ALOHA aligned to the CAP subslot grid.
+	SlottedAloha MAC = aloha.ProtoSlotted
+	// Bandit is the per-subslot multi-armed-bandit learning baseline.
+	Bandit MAC = bandit.Proto
 )
 
-// String implements fmt.Stringer.
+// ErrUnknownMAC reports a MAC value naming no registered protocol.
+var ErrUnknownMAC = errors.New("qma: unknown MAC protocol")
+
+// String implements fmt.Stringer with the protocol's display name.
 func (m MAC) String() string { return m.kind().String() }
 
 func (m MAC) kind() scenario.MACKind {
-	switch m {
-	case CSMAUnslotted:
-		return scenario.CSMAUnslotted
-	case CSMASlotted:
-		return scenario.CSMASlotted
-	default:
+	if m == "" {
 		return scenario.QMA
 	}
+	return scenario.MACKind(m)
+}
+
+// canonical resolves aliases to the canonical registry key ("" stays the
+// QMA default), so comparisons against the exported constants hold for
+// aliases like "mab" too. Unregistered values pass through unchanged —
+// Validate rejects them separately.
+func (m MAC) canonical() MAC {
+	if m == "" {
+		return QMA
+	}
+	if p, ok := mac.Lookup(string(m)); ok {
+		return MAC(p.Name)
+	}
+	return m
+}
+
+// validate resolves m against the protocol registry ("" selects QMA).
+func (m MAC) validate() error {
+	if m == "" {
+		return nil
+	}
+	if _, ok := mac.Lookup(string(m)); !ok {
+		return fmt.Errorf("%w %q (registered: %s)", ErrUnknownMAC, string(m), mac.RegisteredList())
+	}
+	return nil
+}
+
+// MACs lists the registered channel access protocols by canonical key.
+func MACs() []MAC {
+	names := mac.Names()
+	out := make([]MAC, len(names))
+	for i, n := range names {
+		out[i] = MAC(n)
+	}
+	return out
+}
+
+// ParseMAC resolves a canonical protocol key or a registered alias
+// ("unslotted", "slotted", ...) to its canonical MAC value. The empty
+// string resolves to QMA, mirroring the zero value of the MAC type.
+func ParseMAC(s string) (MAC, error) {
+	if s == "" {
+		return QMA, nil
+	}
+	p, ok := mac.Lookup(s)
+	if !ok {
+		m := MAC(s)
+		return "", m.validate() // composes the ErrUnknownMAC message
+	}
+	return MAC(p.Name), nil
 }
 
 // TableKind selects the Q-value representation for QMA nodes.
@@ -172,6 +235,7 @@ type Scenario struct {
 	// Table selects QMA's Q-value representation.
 	Table TableKind
 	// Explorer overrides the exploration strategy (nil = parameter-based).
+	// The Bandit MAC reuses it as its ε source (nil = decaying ε-greedy).
 	Explorer *Explorer
 	// StartupSubslots is the cautious-startup window Δ (0 = default,
 	// negative = disabled).
@@ -287,8 +351,12 @@ func (s *Scenario) Validate() error {
 		return errors.New("qma: Scenario.Topology is required")
 	case s.DurationSeconds <= 0:
 		return errors.New("qma: Scenario.DurationSeconds must be positive")
-	case s.MAC < QMA || s.MAC > CSMASlotted:
-		return fmt.Errorf("qma: unknown MAC %d", s.MAC)
+	}
+	if err := s.MAC.validate(); err != nil {
+		return err
+	}
+	if s.Table < TableFloat || s.Table > TableQuant {
+		return fmt.Errorf("qma: unknown table kind %d", s.Table)
 	}
 	n := s.Topology.net.NumNodes()
 	for _, tr := range s.Traffic {
@@ -418,6 +486,11 @@ func (s *Scenario) Run() (*Result, error) {
 		Duration:    sim.FromSeconds(s.DurationSeconds),
 		MeasureFrom: sim.FromSeconds(s.MeasureFromSeconds),
 		Dynamics:    s.Dynamics.internal(),
+	}
+	if s.MAC.canonical() == Bandit && s.Explorer != nil {
+		// The bandit baseline reuses the exploration strategy as its ε
+		// source; all other protocols ignore it.
+		cfg.MACOptions = bandit.Options{Explorer: explorer}
 	}
 	if s.SampleSeries {
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe

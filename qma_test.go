@@ -1,17 +1,124 @@
 package qma_test
 
 import (
+	"errors"
 	"math"
+	"reflect"
+	"strings"
 	"testing"
 
 	"qma"
 )
 
+// TestUnknownMACIsRejected pins the protocol-registry validation: an
+// unrecognized MAC value must fail Validate and Run with the named
+// ErrUnknownMAC (no silent fallback to QMA), and the error must list the
+// registered protocols.
+func TestUnknownMACIsRejected(t *testing.T) {
+	sc := &qma.Scenario{
+		Topology:        qma.HiddenNode(),
+		MAC:             "token-ring",
+		DurationSeconds: 10,
+	}
+	err := sc.Validate()
+	if !errors.Is(err, qma.ErrUnknownMAC) {
+		t.Fatalf("Validate: got %v, want ErrUnknownMAC", err)
+	}
+	if !strings.Contains(err.Error(), string(qma.QMA)) || !strings.Contains(err.Error(), string(qma.Aloha)) {
+		t.Errorf("error %q does not list the registered protocols", err)
+	}
+	if _, err := sc.Run(); !errors.Is(err, qma.ErrUnknownMAC) {
+		t.Errorf("Run: got %v, want ErrUnknownMAC", err)
+	}
+	dsme := &qma.DSMEScenario{Topology: qma.HiddenNode(), MAC: "token-ring", DurationSeconds: 10}
+	if err := dsme.Validate(); !errors.Is(err, qma.ErrUnknownMAC) {
+		t.Errorf("DSME Validate: got %v, want ErrUnknownMAC", err)
+	}
+	if _, err := qma.ParseMAC("token-ring"); !errors.Is(err, qma.ErrUnknownMAC) {
+		t.Errorf("ParseMAC: got %v, want ErrUnknownMAC", err)
+	}
+}
+
+// TestMACRegistryRoundTrip pins the public registry surface: MACs() lists
+// every protocol of this build, each canonical key and alias parses to the
+// canonical value, and every listed protocol validates and carries a display
+// name.
+func TestMACRegistryRoundTrip(t *testing.T) {
+	macs := qma.MACs()
+	want := map[qma.MAC]bool{
+		qma.QMA: true, qma.CSMAUnslotted: true, qma.CSMASlotted: true,
+		qma.Aloha: true, qma.SlottedAloha: true, qma.Bandit: true,
+	}
+	if len(macs) != len(want) {
+		t.Fatalf("MACs() = %v, want the %d registered protocols", macs, len(want))
+	}
+	for _, m := range macs {
+		if !want[m] {
+			t.Errorf("MACs() lists unexpected protocol %q", m)
+		}
+		got, err := qma.ParseMAC(string(m))
+		if err != nil || got != m {
+			t.Errorf("ParseMAC(%q) = %q, %v", m, got, err)
+		}
+		if sc := (&qma.Scenario{Topology: qma.HiddenNode(), MAC: m, DurationSeconds: 1}); sc.Validate() != nil {
+			t.Errorf("Validate rejects registered protocol %q", m)
+		}
+		if m.String() == "" {
+			t.Errorf("protocol %q has no display name", m)
+		}
+	}
+	for alias, canonical := range map[string]qma.MAC{
+		"unslotted":  qma.CSMAUnslotted,
+		"slotted":    qma.CSMASlotted,
+		"pure-aloha": qma.Aloha,
+		"s-aloha":    qma.SlottedAloha,
+		"mab":        qma.Bandit,
+	} {
+		got, err := qma.ParseMAC(alias)
+		if err != nil || got != canonical {
+			t.Errorf("ParseMAC(%q) = %q, %v; want %q", alias, got, err, canonical)
+		}
+	}
+	// The empty string is the documented QMA default, not an error.
+	if got, err := qma.ParseMAC(""); err != nil || got != qma.QMA {
+		t.Errorf("ParseMAC(\"\") = %q, %v; want the QMA default", got, err)
+	}
+}
+
+// TestBanditAliasHonorsExplorer pins that protocol aliases behave exactly
+// like their canonical key through the public API: a bandit run addressed as
+// "mab" must pick up a configured Explorer (and therefore match the run
+// addressed as qma.Bandit bit for bit).
+func TestBanditAliasHonorsExplorer(t *testing.T) {
+	run := func(mk qma.MAC) *qma.Result {
+		sc := &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			MAC:             mk,
+			Explorer:        &qma.Explorer{Kind: "constant", Eps0: 0.5},
+			Seed:            3,
+			DurationSeconds: 20,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+			},
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatalf("%q: %v", mk, err)
+		}
+		return res
+	}
+	canonical, alias := run(qma.Bandit), run("mab")
+	if !reflect.DeepEqual(canonical, alias) {
+		t.Error("MAC \"mab\" ran differently from qma.Bandit with the same Explorer")
+	}
+}
+
 func TestScenarioValidation(t *testing.T) {
 	cases := map[string]*qma.Scenario{
 		"no topology": {DurationSeconds: 10},
 		"no duration": {Topology: qma.HiddenNode()},
-		"bad mac":     {Topology: qma.HiddenNode(), DurationSeconds: 10, MAC: qma.MAC(9)},
+		"bad mac":     {Topology: qma.HiddenNode(), DurationSeconds: 10, MAC: "token-ring"},
 		"bad origin": {Topology: qma.HiddenNode(), DurationSeconds: 10,
 			Traffic: []qma.Traffic{{Origin: 7, Phases: []qma.Phase{{Rate: 1}}}}},
 		"sink origin": {Topology: qma.HiddenNode(), DurationSeconds: 10,
@@ -153,6 +260,9 @@ func TestPublicDSMEScenario(t *testing.T) {
 	}
 	if _, err := (&qma.DSMEScenario{Topology: rings, DurationSeconds: 10, WarmupSeconds: 20}).Run(); err == nil {
 		t.Error("warmup >= duration accepted")
+	}
+	if _, err := (&qma.DSMEScenario{Topology: rings, DurationSeconds: 10, Table: qma.TableKind(9)}).Run(); err == nil {
+		t.Error("unknown table kind accepted")
 	}
 }
 

@@ -33,9 +33,15 @@ func TestScenarioValidateErrorPaths(t *testing.T) {
 		{"negative broadcast period", func(s *qma.Scenario) {
 			s.Broadcasts = []qma.Broadcast{{Origin: 0, PeriodSeconds: -2}}
 		}, "positive period"},
-		{"negative MAC", func(s *qma.Scenario) {
-			s.MAC = qma.MAC(-1)
+		{"unregistered MAC", func(s *qma.Scenario) {
+			s.MAC = "token-ring"
 		}, "unknown MAC"},
+		{"unknown table kind", func(s *qma.Scenario) {
+			s.Table = qma.TableKind(9)
+		}, "unknown table kind"},
+		{"negative table kind", func(s *qma.Scenario) {
+			s.Table = qma.TableKind(-1)
+		}, "unknown table kind"},
 		{"GE negative sojourn", func(s *qma.Scenario) {
 			s.Dynamics = &qma.Dynamics{Channel: qma.GilbertElliott{MeanGoodSeconds: -1, MeanBadSeconds: 1}}
 		}, "must not be negative"},
