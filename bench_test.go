@@ -127,7 +127,7 @@ func BenchmarkMediumTransmit(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		f.Src = frame.NodeID(i % 10)
-		m.StartTX(f.Src, f)
+		m.StartTX(f.Src, f, 0)
 		k.RunAll()
 	}
 }

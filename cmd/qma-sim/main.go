@@ -21,6 +21,9 @@ import (
 func main() {
 	topology := flag.String("topology", "hidden", "hidden | tree | star | rings1..rings4")
 	mac := flag.String("mac", "qma", "MAC protocol: "+macNames()+" (aliases like unslotted/slotted work too)")
+	var macOpts kvFlag
+	flag.Var(&macOpts, "mac-opt", "protocol option as key=value, repeatable (e.g. -mac csma -mac-opt minbe=2; -mac noma -mac-opt levels=3)")
+	captureDB := flag.Float64("capture-db", 0, "SINR capture threshold in dB: the strongest overlapping frame decodes when it clears the interferer sum by this margin (0 = no capture; give noma runs 6 or so)")
 	delta := flag.Float64("delta", 10, "packet generation rate per source [pkt/s]")
 	duration := flag.Float64("duration", 200, "simulated seconds")
 	warmup := flag.Float64("warmup", 50, "seconds before evaluation traffic / measurement")
@@ -48,7 +51,7 @@ func main() {
 		if *warmup >= *duration {
 			fatalIf(fmt.Errorf("-warmup %g must be below -duration %g (no time left to measure)", *warmup, *duration))
 		}
-		runScale(*scale, *degree, mk, *delta, *duration, *warmup, *seed)
+		runScale(*scale, *degree, mk, macOpts.kv, *captureDB, *delta, *duration, *warmup, *seed)
 		return
 	}
 
@@ -75,6 +78,8 @@ func main() {
 	sc := &qma.Scenario{
 		Topology:           topo,
 		MAC:                mk,
+		MACOptions:         macOpts.kv,
+		CaptureThresholdDB: *captureDB,
 		Seed:               *seed,
 		DurationSeconds:    *duration,
 		MeasureFromSeconds: *warmup,
@@ -133,7 +138,7 @@ func main() {
 // simulator throughput instead of a 10,000-row per-node table. Like the
 // plain path it honours -warmup: evaluation traffic starts and measurement
 // begins there (pass -warmup 1 or so for quick throughput probes).
-func runScale(nodes int, degree float64, mk qma.MAC, delta, duration, warmup float64, seed uint64) {
+func runScale(nodes int, degree float64, mk qma.MAC, macOpts map[string]string, captureDB, delta, duration, warmup float64, seed uint64) {
 	buildStart := time.Now()
 	topo, err := qma.FactoryHall(nodes, degree, seed)
 	fatalIf(err)
@@ -142,6 +147,8 @@ func runScale(nodes int, degree float64, mk qma.MAC, delta, duration, warmup flo
 	sc := &qma.Scenario{
 		Topology:           topo,
 		MAC:                mk,
+		MACOptions:         macOpts,
+		CaptureThresholdDB: captureDB,
 		Seed:               seed,
 		DurationSeconds:    duration,
 		MeasureFromSeconds: warmup,
@@ -193,6 +200,29 @@ func macNames() string {
 		names = append(names, string(m))
 	}
 	return strings.Join(names, " | ")
+}
+
+// kvFlag collects repeatable key=value flags into a map.
+type kvFlag struct{ kv map[string]string }
+
+func (f *kvFlag) String() string {
+	var parts []string
+	for k, v := range f.kv {
+		parts = append(parts, k+"="+v)
+	}
+	return strings.Join(parts, ",")
+}
+
+func (f *kvFlag) Set(s string) error {
+	key, value, ok := strings.Cut(s, "=")
+	if !ok || key == "" {
+		return fmt.Errorf("want key=value, got %q", s)
+	}
+	if f.kv == nil {
+		f.kv = make(map[string]string)
+	}
+	f.kv[key] = value
+	return nil
 }
 
 func fatalIf(err error) {

@@ -1,0 +1,40 @@
+package aloha
+
+import (
+	"testing"
+
+	"qma/internal/mac"
+)
+
+func TestParseOptionsKV(t *testing.T) {
+	got, err := parseOptions(ProtoPure, map[string]string{"minbe": "2", "maxbe": "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Options) != (Options{MinBE: 2, MaxBE: 6}) {
+		t.Errorf("parsed %+v", got)
+	}
+	if _, err := parseOptions(ProtoPure, map[string]string{"maxbackoffs": "3"}); err == nil {
+		t.Error("aloha has no backoff cap; unknown key must be rejected")
+	}
+	if _, err := parseOptions(ProtoPure, map[string]string{"maxbe": "x"}); err == nil {
+		t.Error("malformed value accepted")
+	}
+}
+
+func TestRegistryParseThenValidate(t *testing.T) {
+	p, ok := mac.Lookup(ProtoPure)
+	if !ok {
+		t.Fatal("aloha not registered")
+	}
+	opts, err := p.ParseOptions(map[string]string{"minbe": "6", "maxbe": "4"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.Validate(opts); err == nil {
+		t.Error("Validate accepted MinBE > MaxBE")
+	}
+	if err := validateOptions(ProtoPure, "nope"); err == nil {
+		t.Error("foreign options type accepted")
+	}
+}

@@ -44,9 +44,11 @@ type Options struct {
 
 func init() {
 	mac.Register(mac.Protocol{
-		Name:     ProtocolName,
-		Display:  "QMA",
-		Validate: validateOptions,
+		Name:          ProtocolName,
+		Display:       "QMA",
+		Validate:      validateOptions,
+		ParseOptions:  parseOptions,
+		AdoptExplorer: adoptExplorer,
 		New: func(cfg mac.Config, opts any, rng *sim.Rand) mac.Engine {
 			var o Options
 			if opts != nil {
@@ -55,6 +57,38 @@ func init() {
 			return NewFromOptions(o, cfg, rng)
 		},
 	})
+}
+
+// parseOptions maps -mac-opt key=value pairs onto Options. Learning
+// hyperparameters start from the paper's defaults so a single override
+// (alpha=0.3) leaves the rest intact.
+func parseOptions(kv map[string]string) (any, error) {
+	var o Options
+	learn := qlearn.DefaultParams()
+	touched := false
+	fields := mac.LearnParamFields(&learn, &touched)
+	fields["table"] = mac.EnumField(func(t TableKind) { o.Table = t },
+		map[string]TableKind{"float": TableFloat, "fixed": TableFixed, "quant": TableQuant})
+	fields["startup"] = mac.IntField(&o.StartupSubslots)
+	if err := mac.ParseKV(ProtocolName, kv, fields); err != nil {
+		return nil, err
+	}
+	if touched {
+		o.Learn = learn
+	}
+	return o, nil
+}
+
+// adoptExplorer implements the registry's AdoptExplorer hook for QMA.
+func adoptExplorer(opts any, explorer qlearn.Explorer) any {
+	var o Options
+	if opts != nil {
+		o = opts.(Options)
+	}
+	if o.Explorer == nil {
+		o.Explorer = explorer
+	}
+	return o
 }
 
 func validateOptions(opts any) error {

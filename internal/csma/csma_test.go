@@ -86,7 +86,7 @@ func TestCCADefersToOngoingTransmission(t *testing.T) {
 	// A long broadcast from node 2 occupies the channel.
 	long := &frame.Frame{Kind: frame.Data, Src: 2, Dst: frame.Broadcast, Origin: 2, Sink: frame.Broadcast, Seq: 1, MPDUBytes: 120}
 	capStart := r.clock.NextSubslotStart(0)
-	r.k.At(capStart, func() { r.m.StartTX(2, long) })
+	r.k.At(capStart, func() { r.m.StartTX(2, long, 0) })
 	r.k.At(capStart+10, func() { r.engines[0].Enqueue(dataTo(1, 0, 1)) })
 	r.k.Run(1 * sim.Second)
 	s := r.engines[0].Base().Stats()
@@ -166,7 +166,7 @@ func TestBackoffExhaustionDropsFrame(t *testing.T) {
 				jammer := frame.NodeID(2 + i%2)
 				f := &frame.Frame{Kind: frame.Data, Src: jammer, Dst: frame.Broadcast,
 					Origin: jammer, Sink: frame.Broadcast, Seq: uint32(i + 1), MPDUBytes: 120}
-				r.k.At(sim.Time(i)*3*sim.Millisecond, func() { r.m.StartTX(jammer, f) })
+				r.k.At(sim.Time(i)*3*sim.Millisecond, func() { r.m.StartTX(jammer, f, 0) })
 			}
 			r.engines[0].Enqueue(dataTo(1, 0, 1))
 			r.k.Run(600 * sim.Millisecond)
@@ -218,7 +218,7 @@ func TestSlottedCWRequiresTwoClearBoundaries(t *testing.T) {
 			}
 			seq++
 			f.Seq = seq
-			r.k.At(start, func() { r.m.StartTX(2, f) })
+			r.k.At(start, func() { r.m.StartTX(2, f, 0) })
 		}
 	}
 	r.engines[0].Enqueue(dataTo(1, 0, 1))

@@ -31,10 +31,11 @@ func init() {
 	} {
 		reg := reg
 		mac.Register(mac.Protocol{
-			Name:     reg.name,
-			Aliases:  []string{reg.alias},
-			Display:  reg.display,
-			Validate: func(opts any) error { return validateOptions(reg.name, opts) },
+			Name:         reg.name,
+			Aliases:      []string{reg.alias},
+			Display:      reg.display,
+			Validate:     func(opts any) error { return validateOptions(reg.name, opts) },
+			ParseOptions: func(kv map[string]string) (any, error) { return parseOptions(reg.name, kv) },
 			New: func(cfg mac.Config, opts any, rng *sim.Rand) mac.Engine {
 				var o Options
 				if opts != nil {
@@ -47,6 +48,21 @@ func init() {
 			},
 		})
 	}
+}
+
+// parseOptions maps -mac-opt key=value pairs onto Options; proto is the
+// registered key of the variant the user selected, so errors name it.
+func parseOptions(proto string, kv map[string]string) (any, error) {
+	var o Options
+	err := mac.ParseKV(proto, kv, map[string]mac.KVField{
+		"minbe":       mac.IntField(&o.MinBE),
+		"maxbe":       mac.IntField(&o.MaxBE),
+		"maxbackoffs": mac.IntField(&o.MaxBackoffs),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
 }
 
 func validateOptions(proto string, opts any) error {

@@ -1,0 +1,53 @@
+package csma
+
+import (
+	"testing"
+
+	"qma/internal/mac"
+)
+
+func TestParseOptionsKV(t *testing.T) {
+	got, err := parseOptions(ProtoUnslotted, map[string]string{"minbe": "2", "maxbe": "4", "maxbackoffs": "6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.(Options) != (Options{MinBE: 2, MaxBE: 4, MaxBackoffs: 6}) {
+		t.Errorf("parsed %+v", got)
+	}
+	if _, err := parseOptions(ProtoUnslotted, map[string]string{"cw": "2"}); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := parseOptions(ProtoUnslotted, map[string]string{"minbe": "two"}); err == nil {
+		t.Error("malformed value accepted")
+	}
+}
+
+func TestRegistryParseThenValidate(t *testing.T) {
+	for _, key := range []string{ProtoUnslotted, ProtoSlotted} {
+		p, ok := mac.Lookup(key)
+		if !ok {
+			t.Fatalf("%s not registered", key)
+		}
+		opts, err := p.ParseOptions(map[string]string{"minbe": "9"})
+		if err != nil {
+			t.Fatalf("%s: parse: %v", key, err)
+		}
+		// Syntactically fine, semantically out of range: Validate must catch
+		// what ParseOptions lets through.
+		if err := p.Validate(opts); err == nil {
+			t.Errorf("%s: Validate accepted MinBE=9", key)
+		}
+	}
+}
+
+func TestValidateOptionsForeignType(t *testing.T) {
+	if err := validateOptions(ProtoUnslotted, 42); err == nil {
+		t.Error("foreign options type accepted")
+	}
+	if err := validateOptions(ProtoUnslotted, Options{MaxBackoffs: -1}); err == nil {
+		t.Error("negative MaxBackoffs accepted")
+	}
+	if err := validateOptions(ProtoUnslotted, nil); err != nil {
+		t.Errorf("nil options rejected: %v", err)
+	}
+}

@@ -321,7 +321,7 @@ func (n *Node) transmitGTSAck(ack *frame.Frame) {
 		n.cfg.FramePool.Put(ack)
 		return
 	}
-	txEnd := n.cfg.Medium.StartTX(n.cfg.ID, ack)
+	txEnd := n.cfg.Medium.StartTX(n.cfg.ID, ack, 0)
 	n.cfg.Kernel.AtCall(txEnd, n.ackDoneFn, ack)
 }
 
@@ -377,7 +377,7 @@ func (n *Node) gtsTransmit(g superframe.GTS, ch uint8) {
 	}
 	f.Channel = ch
 	n.stats.GTSTxAttempts++
-	txEnd := n.cfg.Medium.StartTX(n.cfg.ID, f)
+	txEnd := n.cfg.Medium.StartTX(n.cfg.ID, f, 0)
 	deadline := txEnd + frame.AckWait
 	w := &gtsAckWait{peer: f.Dst, seq: f.Seq, frame: f, gts: g}
 	w.timer = n.cfg.Kernel.At(deadline, func() {

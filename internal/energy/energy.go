@@ -14,11 +14,21 @@ import (
 	"qma/internal/sim"
 )
 
+// PowerStep maps one programmable TX output power setting to its supply
+// current.
+type PowerStep struct {
+	// DBm is the output power of the setting.
+	DBm float64
+	// MilliAmp is the supply current while transmitting at it.
+	MilliAmp float64
+}
+
 // Profile holds the current draws of a transceiver state machine.
 type Profile struct {
 	// Name identifies the radio.
 	Name string
-	// TxMilliAmp is the draw while transmitting.
+	// TxMilliAmp is the draw while transmitting at maximum power (the
+	// backwards-compatible flat model used when TxSteps is empty).
 	TxMilliAmp float64
 	// RxMilliAmp is the draw while listening or receiving.
 	RxMilliAmp float64
@@ -26,13 +36,59 @@ type Profile struct {
 	IdleMilliAmp float64
 	// SupplyVolt is the supply voltage.
 	SupplyVolt float64
+	// TxSteps, when non-empty, maps the radio's discrete TX power settings
+	// to supply currents in descending DBm order; TxSteps[0] must match
+	// TxMilliAmp so flat accounting and step accounting agree at maximum
+	// power.
+	TxSteps []PowerStep
 }
 
 // AT86RF231 returns the profile of the radio on the FIT IoT-LAB M3 boards
 // (datasheet figures: 14 mA TX at +3 dBm, 12.3 mA RX_ON, 0.4 mA TRX_OFF,
-// 3.0 V supply).
+// 3.0 V supply). TxSteps follows the datasheet's TX_PWR characteristic —
+// the supply current falls off sub-linearly as the PA backs down from
+// +3 dBm to the −17 dBm minimum.
 func AT86RF231() Profile {
-	return Profile{Name: "AT86RF231", TxMilliAmp: 14.0, RxMilliAmp: 12.3, IdleMilliAmp: 0.4, SupplyVolt: 3.0}
+	return Profile{
+		Name: "AT86RF231", TxMilliAmp: 14.0, RxMilliAmp: 12.3, IdleMilliAmp: 0.4, SupplyVolt: 3.0,
+		TxSteps: []PowerStep{
+			{DBm: 3, MilliAmp: 14.0},
+			{DBm: 0, MilliAmp: 12.7},
+			{DBm: -3, MilliAmp: 11.8},
+			{DBm: -6, MilliAmp: 11.0},
+			{DBm: -9, MilliAmp: 10.4},
+			{DBm: -12, MilliAmp: 9.9},
+			{DBm: -17, MilliAmp: 9.5},
+		},
+	}
+}
+
+// TxMilliAmpAt reports the TX supply current at the requested output power:
+// the draw of the weakest programmable step still delivering at least dbm
+// (the radio rounds a requested power up to the next setting). Requests
+// above the strongest step draw the maximum; below the weakest, the
+// minimum setting's draw (the radio cannot go lower). Profiles without
+// TxSteps draw TxMilliAmp at every power.
+func (p Profile) TxMilliAmpAt(dbm float64) float64 {
+	if len(p.TxSteps) == 0 {
+		return p.TxMilliAmp
+	}
+	for i := len(p.TxSteps) - 1; i >= 0; i-- {
+		if p.TxSteps[i].DBm >= dbm {
+			return p.TxSteps[i].MilliAmp
+		}
+	}
+	return p.TxSteps[0].MilliAmp
+}
+
+// MaxTxDBm reports the strongest programmable output power (TxSteps[0]), or
+// 0 for profiles without steps. It is the reference power the radio layer's
+// per-transmission reductions are counted from.
+func (p Profile) MaxTxDBm() float64 {
+	if len(p.TxSteps) == 0 {
+		return 0
+	}
+	return p.TxSteps[0].DBm
 }
 
 // Report is the per-node energy breakdown over a run.
@@ -64,8 +120,21 @@ func (r Report) String() string {
 // Account computes the energy report for one node: the transceiver listens
 // during every CAP of the run except while transmitting, and is off
 // otherwise. capOn is the cumulative CAP residency (duration × CAP duty
-// cycle for always-associated nodes).
+// cycle for always-associated nodes). TX is charged flat at TxMilliAmp —
+// correct for single-power runs transmitting at maximum power; power-diverse
+// runs use AccountPowered with the medium's airtime breakdown.
 func Account(p Profile, total, capOn sim.Time, radioStats radio.NodeStats) Report {
+	return AccountPowered(p, total, capOn, radioStats, p.MaxTxDBm(), nil)
+}
+
+// AccountPowered is Account with the TX draw resolved per power level:
+// byPower is the node's airtime breakdown (radio.Medium.TxAirtimeByPower;
+// ReduceDB counts down from refDBm, the absolute output power the radio
+// layer's reference corresponds to — Profile.MaxTxDBm for hardware driven at
+// full power). A nil byPower charges all of radioStats.TxAirtime at refDBm;
+// with an empty TxSteps table every power collapses to the flat TxMilliAmp,
+// making Account a special case.
+func AccountPowered(p Profile, total, capOn sim.Time, radioStats radio.NodeStats, refDBm float64, byPower []radio.PowerAirtime) Report {
 	tx := radioStats.TxAirtime
 	listen := capOn - tx
 	if listen < 0 {
@@ -78,11 +147,19 @@ func Account(p Profile, total, capOn sim.Time, radioStats radio.NodeStats) Repor
 	mj := func(d sim.Time, milliAmp float64) float64 {
 		return d.Seconds() * milliAmp * p.SupplyVolt
 	}
+	var txMJ float64
+	if len(byPower) == 0 {
+		txMJ = mj(tx, p.TxMilliAmpAt(refDBm))
+	} else {
+		for _, pa := range byPower {
+			txMJ += mj(pa.Airtime, p.TxMilliAmpAt(refDBm-pa.ReduceDB))
+		}
+	}
 	return Report{
 		TxTime:           tx,
 		ListenTime:       listen,
 		OffTime:          off,
-		TxMilliJoule:     mj(tx, p.TxMilliAmp),
+		TxMilliJoule:     txMJ,
 		ListenMilliJoule: mj(listen, p.RxMilliAmp),
 		OffMilliJoule:    mj(off, p.IdleMilliAmp),
 	}

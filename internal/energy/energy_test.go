@@ -49,6 +49,69 @@ func TestAccountClampsNegatives(t *testing.T) {
 	}
 }
 
+// TestTxMilliAmpAtSteps pins the datasheet-step TX draw model: requested
+// powers round up to the next programmable setting, the extremes clamp, and
+// the maximum setting matches the flat TxMilliAmp so single-power accounting
+// is unchanged.
+func TestTxMilliAmpAtSteps(t *testing.T) {
+	p := AT86RF231()
+	cases := []struct{ dbm, want float64 }{
+		{3, 14.0},  // maximum setting
+		{10, 14.0}, // above the strongest step: clamp to max
+		{0, 12.7},  // exact step
+		{-1, 12.7}, // between −3 and 0: round up to 0 dBm
+		{-3, 11.8}, // exact step
+		{-9, 10.4}, // exact step
+		{-15, 9.9}, // between −17 and −12: round up to the −12 dBm setting
+		{-17, 9.5}, // weakest setting
+		{-40, 9.5}, // below the weakest: clamp to min
+	}
+	for _, c := range cases {
+		if got := p.TxMilliAmpAt(c.dbm); got != c.want {
+			t.Errorf("TxMilliAmpAt(%g) = %g, want %g", c.dbm, got, c.want)
+		}
+	}
+	if p.TxMilliAmpAt(p.MaxTxDBm()) != p.TxMilliAmp {
+		t.Error("maximum step draw differs from the flat TxMilliAmp")
+	}
+	flat := Profile{TxMilliAmp: 11, RxMilliAmp: 1, SupplyVolt: 3}
+	if flat.TxMilliAmpAt(-7) != 11 {
+		t.Error("profiles without TxSteps must fall back to the flat draw")
+	}
+}
+
+// TestAccountPoweredBreakdown pins the power-aware TX accounting: airtime
+// split across levels is charged at each level's draw, a nil breakdown
+// collapses to Account, and transmitting lower always costs less.
+func TestAccountPoweredBreakdown(t *testing.T) {
+	p := AT86RF231()
+	total, capOn := 100*sim.Second, 50*sim.Second
+	stats := radio.NodeStats{TxAirtime: 3 * sim.Second}
+	byPower := []radio.PowerAirtime{
+		{ReduceDB: 0, Airtime: 1 * sim.Second}, // +3 dBm → 14.0 mA
+		{ReduceDB: 6, Airtime: 2 * sim.Second}, // −3 dBm → 11.8 mA
+	}
+	r := AccountPowered(p, total, capOn, stats, 3, byPower)
+	wantTx := (1.0*14.0 + 2.0*11.8) * 3.0
+	if math.Abs(r.TxMilliJoule-wantTx) > 1e-9 {
+		t.Errorf("TxMilliJoule = %v, want %v", r.TxMilliJoule, wantTx)
+	}
+	if r.ListenTime != 47*sim.Second {
+		t.Errorf("ListenTime = %v, want 47s (breakdown must not change the time split)", r.ListenTime)
+	}
+
+	flatEquivalent := AccountPowered(p, total, capOn, stats, 3, nil)
+	if flatEquivalent != Account(p, total, capOn, stats) {
+		t.Error("nil breakdown at the reference power differs from Account")
+	}
+
+	allReduced := AccountPowered(p, total, capOn, stats, 3,
+		[]radio.PowerAirtime{{ReduceDB: 12, Airtime: 3 * sim.Second}})
+	if allReduced.TxMilliJoule >= r.TxMilliJoule {
+		t.Errorf("deeper reduction must cost less: %v vs %v", allReduced.TxMilliJoule, r.TxMilliJoule)
+	}
+}
+
 // TestEnergyParityArgument reproduces the §6.2.1 reasoning: with equal
 // transmission attempts, the listening floor dominates and two schemes
 // differ by well under a percent.

@@ -37,12 +37,23 @@ func baselineCases() []baselineCase {
 	}
 }
 
-// baselineMACs returns every registered protocol, in the registry's canonical
-// order. The list is resolved at run time, so a newly registered protocol
-// package joins the comparison without any edit here — the property the
-// registry refactor exists to guarantee.
+// baselineMACs returns every registered protocol the family can compare
+// fairly, in the registry's canonical order. The list is resolved at run
+// time, so a newly registered protocol package joins the comparison without
+// any edit here — the property the registry refactor exists to guarantee.
+// Protocols declaring NeedsCapture are skipped: this family runs a
+// capture-less medium, where a power-diverse MAC would only demonstrate that
+// deliberately weak transmissions lose; they get their own capture-enabled
+// family (the `noma` experiment) instead.
 func baselineMACs() []scenario.MACKind {
-	return mac.Names()
+	var out []scenario.MACKind
+	for _, n := range mac.Names() {
+		if p, ok := mac.Lookup(string(n)); ok && p.NeedsCapture {
+			continue
+		}
+		out = append(out, n)
+	}
+	return out
 }
 
 // baselineConfig builds one run of the family: every routed non-sink node

@@ -28,9 +28,9 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden di
 
 // goldenIDs are the experiments covered by committed digests: the headline
 // hidden-node sweep, a testbed figure, the DSME scalability family, the
-// large-N scale family, the dynamics family and the cross-protocol
-// baselines family.
-var goldenIDs = []string{"fig07-09", "fig18", "fig21-22", "scale", "dynamics", "baselines"}
+// large-N scale family, the dynamics family, the cross-protocol baselines
+// family and the capture-enabled NOMA power-level family.
+var goldenIDs = []string{"fig07-09", "fig18", "fig21-22", "scale", "dynamics", "baselines", "noma"}
 
 // goldenDigest is the committed JSON shape.
 type goldenDigest struct {

@@ -291,12 +291,22 @@ func (b *Base) AvgNeighborQueue() float64 {
 	return sum / float64(n)
 }
 
-// SendFrame transmits f now and reports the outcome through cb exactly once:
-// immediately after the transmission for broadcasts (optimistic, no ACK
-// exists — DESIGN.md §6 deviation 1), or after the ACK / ACK timeout for
-// unicasts. It returns the instant the node becomes idle again. The caller
-// must ensure the node is not busy and the transaction fits in the CAP.
+// SendFrame transmits f now at the reference (maximum) power and reports
+// the outcome through cb exactly once: immediately after the transmission
+// for broadcasts (optimistic, no ACK exists — DESIGN.md §6 deviation 1), or
+// after the ACK / ACK timeout for unicasts. It returns the instant the node
+// becomes idle again. The caller must ensure the node is not busy and the
+// transaction fits in the CAP.
 func (b *Base) SendFrame(f *frame.Frame, cb func(success bool)) sim.Time {
+	return b.SendFrameAt(f, 0, cb)
+}
+
+// SendFrameAt is SendFrame with an explicit transmit power: reduceDB is the
+// power reduction below the topology's reference power in dB (0 = reference
+// power, the SendFrame default). Power-diverse engines (internal/noma) pick
+// the level per transmission; the returning ACK is always sent at reference
+// power by the receiver's own Base.
+func (b *Base) SendFrameAt(f *frame.Frame, reduceDB float64, cb func(success bool)) sim.Time {
 	if b.waiting != nil {
 		panic(fmt.Sprintf("mac: node %d sends while awaiting an ACK", b.cfg.ID))
 	}
@@ -306,7 +316,7 @@ func (b *Base) SendFrame(f *frame.Frame, cb func(success bool)) sim.Time {
 	}
 	f.QueueLevel = uint8(ql)
 	b.stats.TxAttempts++
-	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, f)
+	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, f, reduceDB)
 	if f.IsBroadcast() {
 		b.ExtendBusy(txEnd)
 		b.cfg.Kernel.At(txEnd, func() {
@@ -510,6 +520,6 @@ func (b *Base) transmitAck(ack *frame.Frame) {
 		return
 	}
 	b.stats.AcksSent++
-	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, ack)
+	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, ack, 0)
 	b.cfg.Kernel.AtCall(txEnd, b.ackDoneFn, ack)
 }

@@ -1,0 +1,125 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"qma/internal/qlearn"
+)
+
+// KV option plumbing: the protocol registry's ParseOptions hooks convert
+// CLI-style key=value maps (qma-sim -mac-opt, qma.Scenario.MACOptions) into
+// typed options values. The helpers here keep the per-protocol parsers down
+// to a field table; validation beyond syntax stays in each protocol's
+// Validate, which every parsed value still passes through.
+
+// KVField consumes one option value into a destination captured by the
+// closure (see IntField, FloatField, BoolField, StringField).
+type KVField func(value string) error
+
+// ParseKV applies the field table to kv, rejecting unknown keys with a
+// message listing the supported ones. Keys are processed in sorted order so
+// error messages are deterministic.
+func ParseKV(proto string, kv map[string]string, fields map[string]KVField) error {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fn, ok := fields[strings.ToLower(k)]
+		if !ok {
+			supported := make([]string, 0, len(fields))
+			for name := range fields {
+				supported = append(supported, name)
+			}
+			sort.Strings(supported)
+			return fmt.Errorf("mac: protocol %q has no option %q (supported: %s)",
+				proto, k, strings.Join(supported, ", "))
+		}
+		if err := fn(kv[k]); err != nil {
+			return fmt.Errorf("mac: protocol %q option %s=%q: %w", proto, k, kv[k], err)
+		}
+	}
+	return nil
+}
+
+// IntField parses a decimal integer into dst.
+func IntField(dst *int) KVField {
+	return func(v string) error {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return fmt.Errorf("want an integer")
+		}
+		*dst = n
+		return nil
+	}
+}
+
+// FloatField parses a float into dst.
+func FloatField(dst *float64) KVField {
+	return func(v string) error {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil {
+			return fmt.Errorf("want a number")
+		}
+		*dst = f
+		return nil
+	}
+}
+
+// BoolField parses a boolean ("true"/"false"/"1"/"0") into dst.
+func BoolField(dst *bool) KVField {
+	return func(v string) error {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return fmt.Errorf("want a boolean")
+		}
+		*dst = b
+		return nil
+	}
+}
+
+// EnumField maps a closed set of case-insensitive names to values applied
+// through set.
+func EnumField[T any](set func(T), values map[string]T) KVField {
+	return func(v string) error {
+		val, ok := values[strings.ToLower(v)]
+		if !ok {
+			names := make([]string, 0, len(values))
+			for name := range values {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			return fmt.Errorf("want one of %s", strings.Join(names, ", "))
+		}
+		set(val)
+		return nil
+	}
+}
+
+// LearnParamFields returns the Q-learning hyperparameter option table
+// (alpha/gamma/xi/initq) shared by the learning protocols (QMA, NOMA).
+// Fields write through to learn — callers initialize it to
+// qlearn.DefaultParams() so a single override leaves the rest intact — and
+// any write sets *touched, letting the caller distinguish "defaults plus
+// overrides" from "no hyperparameter keys at all" (the zero Params value
+// selects the engine default downstream). Merge protocol-specific keys into
+// the returned map before handing it to ParseKV.
+func LearnParamFields(learn *qlearn.Params, touched *bool) map[string]KVField {
+	touch := func(dst *float64) KVField {
+		f := FloatField(dst)
+		return func(v string) error {
+			*touched = true
+			return f(v)
+		}
+	}
+	return map[string]KVField{
+		"alpha": touch(&learn.Alpha),
+		"gamma": touch(&learn.Gamma),
+		"xi":    touch(&learn.Xi),
+		"initq": touch(&learn.InitQ),
+	}
+}

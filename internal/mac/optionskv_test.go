@@ -1,0 +1,74 @@
+package mac
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseKVFields(t *testing.T) {
+	var (
+		i int
+		f float64
+		b bool
+		e string
+	)
+	fields := map[string]KVField{
+		"count": IntField(&i),
+		"ratio": FloatField(&f),
+		"on":    BoolField(&b),
+		"mode":  EnumField(func(v string) { e = v }, map[string]string{"fast": "F", "slow": "S"}),
+	}
+	err := ParseKV("demo", map[string]string{
+		"count": "7", "ratio": "2.5", "on": "true", "mode": "FAST",
+	}, fields)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if i != 7 || f != 2.5 || !b || e != "F" {
+		t.Errorf("parsed (%d, %g, %v, %q)", i, f, b, e)
+	}
+}
+
+func TestParseKVRejectsUnknownKey(t *testing.T) {
+	err := ParseKV("demo", map[string]string{"bogus": "1"}, map[string]KVField{
+		"beta": FloatField(new(float64)), "alpha": FloatField(new(float64)),
+	})
+	if err == nil {
+		t.Fatal("unknown key accepted")
+	}
+	// The supported list must be present and sorted for deterministic
+	// error messages.
+	if !strings.Contains(err.Error(), "alpha, beta") {
+		t.Errorf("error %q does not list the supported keys in order", err)
+	}
+}
+
+func TestParseKVRejectsMalformedValues(t *testing.T) {
+	cases := map[string]struct {
+		field KVField
+		value string
+	}{
+		"int":   {IntField(new(int)), "seven"},
+		"float": {FloatField(new(float64)), "fast"},
+		"bool":  {BoolField(new(bool)), "maybe"},
+		"enum":  {EnumField(func(string) {}, map[string]string{"a": "a"}), "z"},
+	}
+	for name, c := range cases {
+		err := ParseKV("demo", map[string]string{"k": c.value}, map[string]KVField{"k": c.field})
+		if err == nil {
+			t.Errorf("%s: malformed value %q accepted", name, c.value)
+		} else if !strings.Contains(err.Error(), "demo") || !strings.Contains(err.Error(), c.value) {
+			t.Errorf("%s: error %q lacks protocol and offending value", name, err)
+		}
+	}
+}
+
+func TestParseKVKeysAreCaseInsensitive(t *testing.T) {
+	var i int
+	if err := ParseKV("demo", map[string]string{"MinBE": "4"}, map[string]KVField{"minbe": IntField(&i)}); err != nil {
+		t.Fatal(err)
+	}
+	if i != 4 {
+		t.Errorf("got %d", i)
+	}
+}

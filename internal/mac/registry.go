@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"qma/internal/qlearn"
 	"qma/internal/sim"
 )
 
@@ -46,6 +47,24 @@ type Protocol struct {
 	// Validate checks protocol-specific options. nil opts must be accepted
 	// (defaults). A nil Validate accepts only nil opts.
 	Validate func(opts any) error
+	// ParseOptions converts CLI-style key=value options (qma-sim -mac-opt,
+	// qma.Scenario.MACOptions) into the protocol's typed options value. The
+	// result still passes through Validate, so ParseOptions only needs to
+	// reject unknown keys and malformed values. nil means the protocol takes
+	// no key=value options.
+	ParseOptions func(kv map[string]string) (any, error)
+	// AdoptExplorer installs a scenario-level exploration strategy into the
+	// protocol's options (opts may be nil for "defaults plus this
+	// explorer"). Protocols that reuse the shared qlearn.Explorer plumbing
+	// (QMA, the bandit, NOMA) register it; everyone else leaves it nil and
+	// ignores the scenario's explorer. Implementations must not override an
+	// explorer already present in opts.
+	AdoptExplorer func(opts any, explorer qlearn.Explorer) any
+	// NeedsCapture marks protocols whose channel access is only meaningful
+	// on a capture-enabled medium (radio.Medium.SetCaptureThreshold).
+	// Generic comparison families that run a capture-less medium skip them;
+	// capture-aware families and the CLI run them like any other protocol.
+	NeedsCapture bool
 }
 
 var (

@@ -266,7 +266,8 @@ func runScriptIndexed(topo Topology, seed uint64, script []diffOp) ([]delivery, 
 		func(frame.NodeID, Handler), func(frame.NodeID) NodeStats,
 	) {
 		m := NewMedium(k, topo, rng)
-		return m.CCA, m.StartTX, m.SetTuned, m.Transmitting, m.Attach, m.Stats
+		startTX := func(id frame.NodeID, f *frame.Frame) sim.Time { return m.StartTX(id, f, 0) }
+		return m.CCA, startTX, m.SetTuned, m.Transmitting, m.Attach, m.Stats
 	})
 }
 
@@ -374,7 +375,7 @@ func TestDifferentialCCAAtExactTransmissionEnd(t *testing.T) {
 	// sequence numbers are lower than the busy-expiry event's.
 	k.At(end/2, func() { midBusy = !m.CCA(1) })
 	k.At(end, func() { atEndClear = m.CCA(1) })
-	k.At(0, func() { m.StartTX(0, f) })
+	k.At(0, func() { m.StartTX(0, f, 0) })
 	k.RunAll()
 	if !midBusy {
 		t.Error("CCA mid-transmission reported clear")

@@ -305,7 +305,8 @@ func indexedDynDriver(k *sim.Kernel, topo Topology, seed uint64, ge GilbertEllio
 		m.SetGilbertElliott(ge, geSeed)
 	}
 	return &dynMediumDriver{
-		cca: m.CCA, startTX: m.StartTX, setTuned: m.SetTuned,
+		cca: m.CCA, setTuned: m.SetTuned,
+		startTX: func(id frame.NodeID, f *frame.Frame) sim.Time { return m.StartTX(id, f, 0) },
 		transmitting: m.Transmitting, register: m.Attach, stats: m.Stats,
 		move:       m.MoveNode,
 		setPresent: m.SetPresent,
@@ -590,7 +591,8 @@ func TestBusyCountersBalanceUnderChurn(t *testing.T) {
 	}
 	script := randomDynScript(rng, n, 800, side, true)
 	drv := &dynMediumDriver{
-		cca: m.CCA, startTX: m.StartTX, setTuned: m.SetTuned,
+		cca: m.CCA, setTuned: m.SetTuned,
+		startTX: func(id frame.NodeID, f *frame.Frame) sim.Time { return m.StartTX(id, f, 0) },
 		transmitting: m.Transmitting,
 		register:     func(frame.NodeID, Handler) {},
 		stats:        m.Stats,

@@ -2,6 +2,7 @@ package radio
 
 import (
 	"fmt"
+	"math"
 	"slices"
 
 	"qma/internal/frame"
@@ -30,9 +31,19 @@ type transmission struct {
 	channel uint8
 	start   sim.Time
 	end     sim.Time
+	// powerDB is the transmission's power reduction below the topology's
+	// reference power, in dB (0 = reference/maximum power).
+	powerDB float64
 	// corrupt[i] is true when the reception at decode-neighbour i collided
 	// or the receiver was transmitting; indexed parallel to receivers.
 	corrupt []bool
+	// contested[i] is true when another transmission overlapped this
+	// reception at some point (capture bookkeeping: a reception delivered
+	// despite contested[i] was captured); indexed parallel to receivers.
+	// Only populated while capture is enabled — readers guard the index so
+	// a transmission started before SetCaptureThreshold stays valid (it
+	// can collide but never count as captured).
+	contested []bool
 	// receivers are the decode-neighbours of src tuned to the frame's
 	// channel at transmission start.
 	receivers []frame.NodeID
@@ -53,6 +64,10 @@ type NodeStats struct {
 	RxDelivered uint64
 	// RxCollided counts receptions lost to collisions or half-duplex.
 	RxCollided uint64
+	// RxCaptured counts receptions that were delivered although at least one
+	// other transmission overlapped them — the strongest frame cleared the
+	// SINR capture threshold. Always 0 while capture is disabled.
+	RxCaptured uint64
 	// RxFaded counts receptions lost to random link loss.
 	RxFaded uint64
 	// CCACount counts clear channel assessments performed.
@@ -107,6 +122,22 @@ type Medium struct {
 	// dynamic re-classification paths share the static build's logic.
 	classify func(src, dst frame.NodeID) (decode, sense bool)
 	enum     LinkEnumerator
+
+	// power is the topology's PowerModel (nil when it implements none); it
+	// backs per-transmission power deltas and SINR capture. The CSR link
+	// arrays above are computed at the reference (maximum) power; a
+	// reduced-power transmission filters its receiver and sensed sets
+	// through the per-link margins at StartTX.
+	power PowerModel
+	// captureDB is the receiver-side SINR capture threshold in dB; <= 0
+	// disables capture, in which case any overlap corrupts every involved
+	// reception exactly as the pre-capture medium did.
+	captureDB float64
+
+	// txByPower accumulates per-node TX airtime at reduced power levels,
+	// lazily allocated on the first reduced-power transmission. Airtime at
+	// the reference power is NodeStats.TxAirtime minus the listed rows.
+	txByPower [][]PowerAirtime
 
 	// Dynamics state, nil until EnableDynamics. dynDecode/dynSense shadow
 	// the CSR arrays with per-node rows that churn and mobility update
@@ -168,6 +199,9 @@ func NewMedium(k *sim.Kernel, topo Topology, rng *sim.Rand) *Medium {
 	}
 	if enum, ok := topo.(LinkEnumerator); ok {
 		m.enum = enum
+	}
+	if pm, ok := topo.(PowerModel); ok {
+		m.power = pm
 	}
 	appendLinks := func(src frame.NodeID, candidates []frame.NodeID) {
 		for _, dst := range candidates {
@@ -248,20 +282,34 @@ func (m *Medium) CCA(id frame.NodeID) bool {
 	return true
 }
 
-// StartTX puts f on the air from src and returns the transmission end time.
-// The caller (MAC) is responsible for scheduling its own post-TX logic (ACK
-// waits etc). Panics if src is already transmitting — MAC engines must
-// serialize their own transmissions. Cost is O(degree of src).
-func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
+// StartTX puts f on the air from src at the given power level and returns
+// the transmission end time. reduceDB is the transmit power reduction below
+// the topology's reference (maximum) power in dB: 0 transmits at reference
+// power and reproduces the pre-power medium exactly; a positive reduction
+// shrinks the receiver and sensed sets to the links whose PowerModel margins
+// tolerate the delta. The caller (MAC) is responsible for scheduling its own
+// post-TX logic (ACK waits etc). Panics if src is already transmitting — MAC
+// engines must serialize their own transmissions — or on a reduced power
+// over a topology without a PowerModel. Cost is O(degree of src).
+func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame, reduceDB float64) sim.Time {
 	now := m.k.Now()
 	if m.txUntil[src] > now {
 		panic(fmt.Sprintf("radio: node %d starts TX while transmitting (until %v, now %v)", src, m.txUntil[src], now))
+	}
+	if reduceDB < 0 {
+		panic(fmt.Sprintf("radio: node %d transmits above the reference power (reduceDB=%v)", src, reduceDB))
+	}
+	if reduceDB > 0 && m.power == nil {
+		panic(fmt.Sprintf("radio: topology %T has no PowerModel; reduced-power TX is unsupported", m.topo))
 	}
 	dur := f.Duration()
 	end := now + dur
 	m.txUntil[src] = end
 	m.stats[src].TxCount++
 	m.stats[src].TxAirtime += dur
+	if reduceDB > 0 {
+		m.noteTxPower(src, reduceDB, dur)
+	}
 
 	t := m.getTransmission()
 	t.src = src
@@ -269,14 +317,25 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	t.channel = f.Channel
 	t.start = now
 	t.end = end
+	t.powerDB = reduceDB
 	// Only neighbours tuned to the frame's channel at transmission start can
 	// synchronize on it (eligibility is captured at the start; a receiver
 	// retuning mid-flight loses the frame through the end-of-transmission
-	// tuning check instead).
+	// tuning check instead). A reduced-power frame additionally reaches only
+	// the decode links whose margin covers the reduction.
+	capture := m.captureDB > 0
 	for _, r := range m.decodeRow(src) {
+		if reduceDB > 0 {
+			if _, decodeMargin, _ := m.power.LinkSignal(src, r); decodeMargin < reduceDB {
+				continue
+			}
+		}
 		if m.tuned[r] == f.Channel {
 			t.receivers = append(t.receivers, r)
 			t.corrupt = append(t.corrupt, false)
+			if capture {
+				t.contested = append(t.contested, false)
+			}
 		}
 	}
 
@@ -284,7 +343,14 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	// channel; busyEnd lowers them again just before the end timestamp's
 	// normal events run. The set is snapshotted on the transmission so the
 	// counters balance even if dynamics rewrite the sense links mid-flight.
+	// A reduced-power frame stays below the energy-detection threshold of
+	// the sense links whose margin is smaller than the reduction.
 	for _, r := range m.senseRow(src) {
+		if reduceDB > 0 {
+			if _, _, senseMargin := m.power.LinkSignal(src, r); senseMargin < reduceDB {
+				continue
+			}
+		}
 		t.sensed = append(t.sensed, r)
 		m.busyAdd(r, f.Channel, 1)
 	}
@@ -294,13 +360,19 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 
 	for i, r := range t.receivers {
 		// Half-duplex receiver or an already-busy channel at r corrupts this
-		// reception; a new arrival also corrupts whatever r was receiving.
+		// reception; a new arrival also corrupts whatever r was receiving —
+		// unless capture resolution lets the strongest overlapping frame
+		// survive.
 		if m.txUntil[r] > now {
 			t.corrupt[i] = true
 		}
 		if m.rxCount[r] > 0 {
-			t.corrupt[i] = true
-			m.corruptAllAt(r)
+			if capture {
+				m.resolveCapture(r, t, i)
+			} else {
+				t.corrupt[i] = true
+				m.corruptAllAt(r)
+			}
 		}
 		m.rxCount[r]++
 		m.inflight[r] = append(m.inflight[r], t)
@@ -309,6 +381,130 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame) sim.Time {
 	m.k.AtCallEarly(end, m.busyEndFn, t)
 	m.k.AtCall(end, m.endTXFn, t)
 	return end
+}
+
+// SetCaptureThreshold enables receiver-side SINR capture: when transmissions
+// overlap at a receiver, the strongest frame still decodes iff its power
+// exceeds the sum of all overlapping interferers by at least thresholdDB;
+// ties and below-threshold overlaps corrupt every involved reception exactly
+// as without capture. thresholdDB <= 0 disables capture (the default). The
+// topology must implement PowerModel.
+func (m *Medium) SetCaptureThreshold(thresholdDB float64) {
+	if thresholdDB > 0 && m.power == nil {
+		panic(fmt.Sprintf("radio: topology %T has no PowerModel; capture is unsupported", m.topo))
+	}
+	m.captureDB = thresholdDB
+}
+
+// CaptureThreshold reports the configured SINR capture threshold in dB
+// (<= 0: capture disabled).
+func (m *Medium) CaptureThreshold() float64 { return m.captureDB }
+
+// captureEpsilonDB absorbs the float rounding of the dB→linear→dB round
+// trip, so a power gap exactly equal to the threshold captures reliably
+// (the documented ">= threshold" boundary).
+const captureEpsilonDB = 1e-9
+
+// rxPowerDBmAt reports the received power of t at r under the current
+// topology state, combining the link's reference-power signal with the
+// transmission's own power reduction.
+func (m *Medium) rxPowerDBmAt(t *transmission, r frame.NodeID) float64 {
+	rx, _, _ := m.power.LinkSignal(t.src, r)
+	return rx - t.powerDB
+}
+
+// resolveCapture applies the SINR capture rule at receiver r when tNew
+// (whose receiver index is iNew) arrives while other transmissions are in
+// flight there: the strongest frame of the overlap set survives iff its
+// power clears the linear sum of all the others by the capture threshold;
+// every other frame — and the strongest too, below threshold — is marked
+// corrupt. Corruption is one-way: a frame that already lost (half-duplex,
+// an earlier overlap) is never rescued, it merely keeps contributing
+// interference. Later arrivals re-run the resolution, so a capture winner
+// can still be beaten by a stronger frame starting during its tail.
+func (m *Medium) resolveCapture(r frame.NodeID, tNew *transmission, iNew int) {
+	strongest := tNew
+	strongestDBm := m.rxPowerDBmAt(tNew, r)
+	var sumMilliwatt float64 // linear power of every non-strongest frame
+	for _, t := range m.inflight[r] {
+		p := m.rxPowerDBmAt(t, r)
+		if p > strongestDBm {
+			sumMilliwatt += math.Pow(10, strongestDBm/10)
+			strongest, strongestDBm = t, p
+		} else {
+			sumMilliwatt += math.Pow(10, p/10)
+		}
+	}
+	captured := strongestDBm-10*math.Log10(sumMilliwatt) >= m.captureDB-captureEpsilonDB
+	for _, t := range m.inflight[r] {
+		m.markContested(t, r, t == strongest && captured)
+	}
+	tNew.contested[iNew] = true
+	if tNew != strongest || !captured {
+		tNew.corrupt[iNew] = true
+	}
+}
+
+// markContested records that an overlap touched t's reception at r and,
+// unless t survives this resolution, marks it corrupt. Transmissions
+// started before capture was enabled carry no contested slots; they still
+// corrupt normally but can never be counted as captured.
+func (m *Medium) markContested(t *transmission, r frame.NodeID, survives bool) {
+	for i, rr := range t.receivers {
+		if rr != r {
+			continue
+		}
+		if i < len(t.contested) {
+			t.contested[i] = true
+		}
+		if !survives {
+			t.corrupt[i] = true
+		}
+	}
+}
+
+// PowerAirtime is cumulative transmit airtime at one power level, expressed
+// as the reduction below the topology's reference power.
+type PowerAirtime struct {
+	// ReduceDB is the power reduction below the reference power, in dB.
+	ReduceDB float64
+	// Airtime is the cumulative on-air time at this power.
+	Airtime sim.Time
+}
+
+// noteTxPower folds a reduced-power transmission into the per-node airtime
+// breakdown (reduced levels only; reference-power airtime is derived as the
+// remainder of NodeStats.TxAirtime).
+func (m *Medium) noteTxPower(src frame.NodeID, reduceDB float64, dur sim.Time) {
+	if m.txByPower == nil {
+		m.txByPower = make([][]PowerAirtime, len(m.handlers))
+	}
+	row := m.txByPower[src]
+	for i := range row {
+		if row[i].ReduceDB == reduceDB {
+			row[i].Airtime += dur
+			return
+		}
+	}
+	m.txByPower[src] = append(row, PowerAirtime{ReduceDB: reduceDB, Airtime: dur})
+}
+
+// TxAirtimeByPower reports node id's transmit airtime broken down by power
+// level: the reference-power remainder first (ReduceDB 0), then every
+// reduced level in first-use order. It returns nil when no reduced-power
+// transmission ever happened on this medium, so single-power runs pay no
+// per-node allocation.
+func (m *Medium) TxAirtimeByPower(id frame.NodeID) []PowerAirtime {
+	if m.txByPower == nil {
+		return nil
+	}
+	var reduced sim.Time
+	for _, pa := range m.txByPower[id] {
+		reduced += pa.Airtime
+	}
+	out := make([]PowerAirtime, 0, len(m.txByPower[id])+1)
+	out = append(out, PowerAirtime{ReduceDB: 0, Airtime: m.stats[id].TxAirtime - reduced})
+	return append(out, m.txByPower[id]...)
 }
 
 // busyAdd adjusts node id's busy counter for ch, growing the per-node
@@ -346,8 +542,10 @@ func (m *Medium) getTransmission() *transmission {
 // putTransmission resets t and returns it to the pool.
 func (m *Medium) putTransmission(t *transmission) {
 	t.f = nil
+	t.powerDB = 0
 	t.receivers = t.receivers[:0]
 	t.corrupt = t.corrupt[:0]
+	t.contested = t.contested[:0]
 	t.sensed = t.sensed[:0]
 	m.txPool = append(m.txPool, t)
 }
@@ -400,6 +598,9 @@ func (m *Medium) endTX(t *transmission) {
 			continue
 		}
 		m.stats[r].RxDelivered++
+		if i < len(t.contested) && t.contested[i] {
+			m.stats[r].RxCaptured++
+		}
 		if h := m.handlers[r]; h != nil {
 			h.Deliver(t.f)
 		}

@@ -40,7 +40,7 @@ func BenchmarkMediumLargeN(b *testing.B) {
 					src := frame.NodeID(id)
 					if !m.Transmitting(src) {
 						f.Src = src
-						m.StartTX(src, f)
+						m.StartTX(src, f, 0)
 					}
 					m.CCA(frame.NodeID((id + 5) % n))
 				}

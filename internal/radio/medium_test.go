@@ -38,7 +38,7 @@ func dataFrame(src frame.NodeID, ch uint8) *frame.Frame {
 
 func TestDeliveryToDecodeNeighbors(t *testing.T) {
 	r := newRig(t, 3, [][2]int{{0, 1}, {1, 2}}) // chain: 0-1-2
-	r.m.StartTX(0, dataFrame(0, 0))
+	r.m.StartTX(0, dataFrame(0, 0), 0)
 	r.k.RunAll()
 	if len(r.recvd[1]) != 1 {
 		t.Errorf("node 1 received %d frames, want 1", len(r.recvd[1]))
@@ -54,8 +54,8 @@ func TestDeliveryToDecodeNeighbors(t *testing.T) {
 
 func TestOverlappingTransmissionsCollide(t *testing.T) {
 	r := newRig(t, 3, [][2]int{{0, 1}, {1, 2}}) // hidden pair 0,2 at 1
-	r.m.StartTX(0, dataFrame(0, 0))
-	r.k.Schedule(frame.AirTime(20)/2, func() { r.m.StartTX(2, dataFrame(2, 0)) })
+	r.m.StartTX(0, dataFrame(0, 0), 0)
+	r.k.Schedule(frame.AirTime(20)/2, func() { r.m.StartTX(2, dataFrame(2, 0), 0) })
 	r.k.RunAll()
 	if len(r.recvd[1]) != 0 {
 		t.Errorf("node 1 decoded %d frames despite the collision", len(r.recvd[1]))
@@ -68,8 +68,8 @@ func TestOverlappingTransmissionsCollide(t *testing.T) {
 func TestBackToBackTransmissionsDoNotCollide(t *testing.T) {
 	r := newRig(t, 2, [][2]int{{0, 1}})
 	f := dataFrame(0, 0)
-	end := r.m.StartTX(0, f)
-	r.k.At(end, func() { r.m.StartTX(0, dataFrame(0, 0)) })
+	end := r.m.StartTX(0, f, 0)
+	r.k.At(end, func() { r.m.StartTX(0, dataFrame(0, 0), 0) })
 	r.k.RunAll()
 	if len(r.recvd[1]) != 2 {
 		t.Errorf("node 1 received %d frames, want 2", len(r.recvd[1]))
@@ -79,8 +79,8 @@ func TestBackToBackTransmissionsDoNotCollide(t *testing.T) {
 func TestHalfDuplexReceiverLosesFrame(t *testing.T) {
 	r := newRig(t, 2, [][2]int{{0, 1}})
 	// Node 1 starts transmitting; node 0's simultaneous frame is lost at 1.
-	r.m.StartTX(1, dataFrame(1, 0))
-	r.m.StartTX(0, dataFrame(0, 0))
+	r.m.StartTX(1, dataFrame(1, 0), 0)
+	r.m.StartTX(0, dataFrame(0, 0), 0)
 	r.k.RunAll()
 	if len(r.recvd[1]) != 0 {
 		t.Errorf("transmitting node decoded a frame")
@@ -93,7 +93,7 @@ func TestHalfDuplexReceiverLosesFrame(t *testing.T) {
 
 func TestCCASensesOnlyTunedChannel(t *testing.T) {
 	r := newRig(t, 2, [][2]int{{0, 1}})
-	r.m.StartTX(0, dataFrame(0, 3))
+	r.m.StartTX(0, dataFrame(0, 3), 0)
 	if !r.m.CCA(1) {
 		t.Error("CCA on channel 0 busy although the transmission is on channel 3")
 	}
@@ -112,8 +112,8 @@ func TestChannelSeparation(t *testing.T) {
 	// Two same-time transmissions on different channels; the receiver tuned
 	// to channel 2 decodes only that one.
 	r.m.SetTuned(1, 2)
-	r.m.StartTX(0, dataFrame(0, 2))
-	r.m.StartTX(2, dataFrame(2, 5))
+	r.m.StartTX(0, dataFrame(0, 2), 0)
+	r.m.StartTX(2, dataFrame(2, 5), 0)
 	r.k.RunAll()
 	if len(r.recvd[1]) != 1 || r.recvd[1][0].Src != 0 {
 		t.Errorf("node 1 received %v, want exactly the channel-2 frame", r.recvd[1])
@@ -123,7 +123,7 @@ func TestChannelSeparation(t *testing.T) {
 func TestRetuningAwayLosesFrame(t *testing.T) {
 	r := newRig(t, 2, [][2]int{{0, 1}})
 	r.m.SetTuned(1, 4)
-	r.m.StartTX(0, dataFrame(0, 4))
+	r.m.StartTX(0, dataFrame(0, 4), 0)
 	// Receiver retunes away mid-flight.
 	r.k.Schedule(10, func() { r.m.SetTuned(1, 0) })
 	r.k.RunAll()
@@ -141,7 +141,7 @@ func TestFadingLoss(t *testing.T) {
 	got := 0
 	m.Attach(0, HandlerFunc(func(*frame.Frame) {}))
 	m.Attach(1, HandlerFunc(func(*frame.Frame) { got++ }))
-	m.StartTX(0, dataFrame(0, 0))
+	m.StartTX(0, dataFrame(0, 0), 0)
 	k.RunAll()
 	if got != 0 {
 		t.Errorf("frame delivered despite LossProb=1")
@@ -153,13 +153,13 @@ func TestFadingLoss(t *testing.T) {
 
 func TestStartTXWhileTransmittingPanics(t *testing.T) {
 	r := newRig(t, 2, [][2]int{{0, 1}})
-	r.m.StartTX(0, dataFrame(0, 0))
+	r.m.StartTX(0, dataFrame(0, 0), 0)
 	defer func() {
 		if recover() == nil {
 			t.Fatal("expected panic for overlapping TX at one node")
 		}
 	}()
-	r.m.StartTX(0, dataFrame(0, 0))
+	r.m.StartTX(0, dataFrame(0, 0), 0)
 }
 
 func TestPathLossTopologyLinkBudget(t *testing.T) {

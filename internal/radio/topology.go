@@ -75,6 +75,22 @@ type LinkClassifier interface {
 	ClassifyLink(src, dst frame.NodeID) (decode, sense bool)
 }
 
+// PowerModel is the optional topology extension behind per-transmission
+// power and SINR capture. LinkSignal reports, for the directed link
+// src→dst, the received power of a reference-power transmission (dBm, or
+// any scale consistent across the topology — capture only compares powers
+// and their ratios) together with the dB margins the link keeps over the
+// decode and sense thresholds: a transmission power-reduced by delta dB
+// below the reference still decodes (is sensed) at dst iff
+// delta <= decodeMarginDB (senseMarginDB). The margins must agree with
+// CanDecode/CanSense at delta 0; both built-in topologies implement the
+// interface. Topologies without an inherent power notion (GraphTopology)
+// report equal received powers and unbounded margins, so reducing power
+// never breaks a graph link and equal-power frames never capture.
+type PowerModel interface {
+	LinkSignal(src, dst frame.NodeID) (rxPowerDBm, decodeMarginDB, senseMarginDB float64)
+}
+
 // GraphTopology is an explicit connectivity graph: node i hears exactly the
 // nodes in its adjacency set. Decode and sense sets coincide and links are
 // lossless unless LossProb is set. Adjacency is stored as per-node sorted
@@ -154,6 +170,18 @@ func (g *GraphTopology) AppendLinks(src frame.NodeID, buf []frame.NodeID) []fram
 func (g *GraphTopology) ClassifyLink(src, dst frame.NodeID) (decode, sense bool) {
 	d := g.CanDecode(src, dst)
 	return d, d
+}
+
+// LinkSignal implements PowerModel. Graph links carry no path-loss notion:
+// every link delivers the transmit power unattenuated (0 dB reference), so
+// two same-power frames always tie (no capture) and deliberate power deltas
+// translate 1:1 into receiver-side power gaps. Margins are unbounded —
+// reducing power never severs an explicit graph link.
+func (g *GraphTopology) LinkSignal(src, dst frame.NodeID) (rxPowerDBm, decodeMarginDB, senseMarginDB float64) {
+	if !g.CanDecode(src, dst) {
+		return math.Inf(-1), math.Inf(-1), math.Inf(-1)
+	}
+	return 0, math.Inf(1), math.Inf(1)
 }
 
 // Position is a planar node coordinate in meters.
@@ -253,7 +281,9 @@ var (
 	_ LinkClassifier    = (*PathLossTopology)(nil)
 	_ MobileTopology    = (*PathLossTopology)(nil)
 	_ CloneableTopology = (*PathLossTopology)(nil)
+	_ PowerModel        = (*PathLossTopology)(nil)
 	_ LinkClassifier    = (*GraphTopology)(nil)
+	_ PowerModel        = (*GraphTopology)(nil)
 )
 
 // NewPathLossTopology indexes the given positions for neighbor queries.
@@ -533,6 +563,15 @@ func (t *PathLossTopology) ClassifyLink(src, dst frame.NodeID) (decode, sense bo
 	}
 	rssi := t.RSSI(src, dst)
 	return rssi >= t.cfg.SensitivityDBm, rssi >= t.cfg.SensitivityDBm+t.cfg.CCAMarginDB
+}
+
+// LinkSignal implements PowerModel: the received power is the on-demand
+// RSSI at the configured (reference) TX power, and the margins are its
+// headroom over the sensitivity and energy-detection thresholds. At delta 0
+// the margin comparisons reduce to exactly CanDecode/CanSense.
+func (t *PathLossTopology) LinkSignal(src, dst frame.NodeID) (rxPowerDBm, decodeMarginDB, senseMarginDB float64) {
+	rssi := t.RSSI(src, dst)
+	return rssi, rssi - t.cfg.SensitivityDBm, rssi - (t.cfg.SensitivityDBm + t.cfg.CCAMarginDB)
 }
 
 func splitmixPair(seed, a, b uint64) uint64 {

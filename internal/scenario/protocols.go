@@ -13,4 +13,5 @@ package scenario
 import (
 	_ "qma/internal/aloha"  // registers "aloha" and "slotted-aloha"
 	_ "qma/internal/bandit" // registers "bandit"
+	_ "qma/internal/noma"   // registers "noma" (power-level Q-learning)
 )

@@ -135,6 +135,11 @@ type Config struct {
 	// (e.g. csma.Options, aloha.Options, bandit.Options); nil selects the
 	// protocol's defaults. When set it also overrides QMA for QMA runs.
 	MACOptions any
+	// CaptureThresholdDB enables receiver-side SINR capture on the medium:
+	// the strongest of several overlapping frames still decodes when its
+	// power clears the sum of the interferers by this many dB (<= 0: capture
+	// disabled, every overlap collides — the byte-identical default).
+	CaptureThresholdDB float64
 	// Superframe overrides the DSME timing (zero value selects the default).
 	Superframe superframe.Config
 	// QueueCap bounds the transmit queues (0 selects the paper's 8).
@@ -185,6 +190,10 @@ type NodeResult struct {
 	// MAC are the shared MAC counters, Radio the medium-level counters.
 	MAC   mac.Stats
 	Radio radio.NodeStats
+	// PowerAirtime is the node's TX airtime broken down by power level
+	// (reference-power remainder first). Nil unless some node of the run
+	// transmitted at reduced power (see radio.Medium.TxAirtimeByPower).
+	PowerAirtime []radio.PowerAirtime
 	// QMA-only: engine counters, final policy, per-subslot action counts and
 	// sampled series (nil/empty for CSMA nodes or when sampling is off).
 	Engine       core.Stats
@@ -340,6 +349,9 @@ func build(cfg Config) *run {
 		topology = clone
 	}
 	medium := radio.NewMedium(kernel, topology, sim.NewRandStream(cfg.Seed, 1000))
+	if cfg.CaptureThresholdDB > 0 {
+		medium.SetCaptureThreshold(cfg.CaptureThresholdDB)
+	}
 	if cfg.Dynamics.Enabled() {
 		armDynamics(kernel, medium, cfg.Dynamics, cfg.Seed)
 	}
@@ -567,6 +579,7 @@ func (r *run) collect() {
 		node := &r.result.Nodes[i]
 		node.MAC = e.Base().Stats()
 		node.Radio = r.medium.Stats(frame.NodeID(i))
+		node.PowerAirtime = r.medium.TxAirtimeByPower(frame.NodeID(i))
 		node.AvgQueueLevel = e.Base().AvgQueueLevel()
 		if q := r.qma[i]; q != nil {
 			node.Engine = q.EngineStats()

@@ -30,6 +30,7 @@ import (
 	"qma/internal/csma"
 	"qma/internal/frame"
 	"qma/internal/mac"
+	"qma/internal/noma"
 	"qma/internal/qlearn"
 	"qma/internal/radio"
 	"qma/internal/scenario"
@@ -58,6 +59,11 @@ const (
 	SlottedAloha MAC = aloha.ProtoSlotted
 	// Bandit is the per-subslot multi-armed-bandit learning baseline.
 	Bandit MAC = bandit.Proto
+	// NOMA is the power-level Q-learning MAC: QMA's action space crossed
+	// with K transmit power levels, designed for capture-enabled runs
+	// (Scenario.CaptureThresholdDB > 0) where two deliberate power levels
+	// can share a subslot.
+	NOMA MAC = noma.Proto
 )
 
 // ErrUnknownMAC reports a MAC value naming no registered protocol.
@@ -235,11 +241,23 @@ type Scenario struct {
 	// Table selects QMA's Q-value representation.
 	Table TableKind
 	// Explorer overrides the exploration strategy (nil = parameter-based).
-	// The Bandit MAC reuses it as its ε source (nil = decaying ε-greedy).
+	// Protocols that reuse the shared exploration plumbing (QMA, Bandit,
+	// NOMA) adopt it through the registry; everyone else ignores it.
 	Explorer *Explorer
 	// StartupSubslots is the cautious-startup window Δ (0 = default,
 	// negative = disabled).
 	StartupSubslots int
+	// MACOptions carries protocol-specific options as key=value pairs
+	// (the qma-sim -mac-opt surface), resolved and validated through the
+	// protocol registry — e.g. {"minbe": "2"} for CSMA/CA or
+	// {"levels": "3", "step": "6"} for NOMA. When set for a QMA run it
+	// replaces the Learn/Table/StartupSubslots convenience fields.
+	MACOptions map[string]string
+	// CaptureThresholdDB enables receiver-side SINR capture: the strongest
+	// of several overlapping frames still decodes when its received power
+	// exceeds the sum of the interferers by this many dB. 0 (the default)
+	// disables capture; overlaps then collide exactly as before.
+	CaptureThresholdDB float64
 	// Seed selects the random streams; vary it across replications.
 	Seed uint64
 	// DurationSeconds is the simulated time.
@@ -323,6 +341,10 @@ type NodeResult struct {
 	// TxAttempts, TxSuccess, TxFail, RetryDrops and QueueDrops are MAC
 	// counters.
 	TxAttempts, TxSuccess, TxFail, RetryDrops, QueueDrops uint64
+	// Captured counts receptions at this node that were delivered although
+	// another transmission overlapped them — SINR capture resolved the
+	// collision in their favour. Always 0 unless CaptureThresholdDB is set.
+	Captured uint64
 	// Policy is the final per-subslot policy for QMA nodes ("." = QBackoff,
 	// "C" = QCCA, "S" = QSend); empty for CSMA nodes.
 	Policy string
@@ -357,6 +379,14 @@ func (s *Scenario) Validate() error {
 	}
 	if s.Table < TableFloat || s.Table > TableQuant {
 		return fmt.Errorf("qma: unknown table kind %d", s.Table)
+	}
+	if s.CaptureThresholdDB < 0 {
+		return fmt.Errorf("qma: CaptureThresholdDB=%g must not be negative (0 disables capture)", s.CaptureThresholdDB)
+	}
+	if len(s.MACOptions) > 0 {
+		if _, err := s.resolveMACOptions(nil); err != nil {
+			return err
+		}
 	}
 	n := s.Topology.net.NumNodes()
 	for _, tr := range s.Traffic {
@@ -467,30 +497,72 @@ func (d *Dynamics) internal() scenario.DynamicsConfig {
 	return out
 }
 
+// resolveMACOptions resolves the run's protocol options through the
+// registry: key=value MACOptions are parsed by the protocol's ParseOptions
+// hook when present, otherwise the QMA convenience fields apply (for QMA
+// runs; other protocols default). A scenario-level Explorer flows into any
+// protocol registering an AdoptExplorer hook — the registry capability that
+// replaced the former bandit special case here. The result passes through
+// the protocol's own Validate.
+func (s *Scenario) resolveMACOptions(explorer qlearn.Explorer) (any, error) {
+	kind := s.MAC.kind()
+	p, ok := mac.Lookup(string(kind))
+	if !ok {
+		return nil, s.MAC.validate()
+	}
+	var opts any
+	if len(s.MACOptions) > 0 {
+		if p.ParseOptions == nil {
+			return nil, fmt.Errorf("qma: protocol %q takes no key=value options", p.Name)
+		}
+		parsed, err := p.ParseOptions(s.MACOptions)
+		if err != nil {
+			return nil, fmt.Errorf("qma: %w", err)
+		}
+		opts = parsed
+	} else {
+		opts = scenario.DefaultQMAOptions(kind, scenario.QMAOptions{
+			Learn:           s.Learn.internal(),
+			Table:           scenario.TableKind(s.Table),
+			Explorer:        explorer,
+			StartupSubslots: s.StartupSubslots,
+		})
+	}
+	if explorer != nil && p.AdoptExplorer != nil {
+		opts = p.AdoptExplorer(opts, explorer)
+	}
+	if opts != nil && p.Validate != nil {
+		if err := p.Validate(opts); err != nil {
+			return nil, fmt.Errorf("qma: %w", err)
+		}
+	}
+	return opts, nil
+}
+
 // Run executes the scenario and returns its metrics.
 func (s *Scenario) Run() (*Result, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
 	explorer, _ := s.Explorer.internal()
+	macOpts, err := s.resolveMACOptions(explorer)
+	if err != nil {
+		return nil, err
+	}
 	cfg := scenario.Config{
 		Network: s.Topology.net,
 		MAC:     s.MAC.kind(),
-		QMA: scenario.QMAOptions{
-			Learn:           s.Learn.internal(),
-			Table:           scenario.TableKind(s.Table),
-			Explorer:        explorer,
-			StartupSubslots: s.StartupSubslots,
-		},
-		Seed:        s.Seed,
-		Duration:    sim.FromSeconds(s.DurationSeconds),
-		MeasureFrom: sim.FromSeconds(s.MeasureFromSeconds),
-		Dynamics:    s.Dynamics.internal(),
-	}
-	if s.MAC.canonical() == Bandit && s.Explorer != nil {
-		// The bandit baseline reuses the exploration strategy as its ε
-		// source; all other protocols ignore it.
-		cfg.MACOptions = bandit.Options{Explorer: explorer}
+		// MACOptions carries the fully resolved protocol options for every
+		// protocol — for QMA runs resolveMACOptions already folded the
+		// Learn/Table/Explorer/StartupSubslots convenience fields in, so
+		// Config.QMA (the scenario layer's nil-MACOptions fallback) stays
+		// unset here.
+		MACOptions:         macOpts,
+		CaptureThresholdDB: s.CaptureThresholdDB,
+		Seed:               s.Seed,
+		Duration:           sim.FromSeconds(s.DurationSeconds),
+		MeasureFrom:        sim.FromSeconds(s.MeasureFromSeconds),
+		Dynamics:           s.Dynamics.internal(),
 	}
 	if s.SampleSeries {
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe
@@ -539,6 +611,7 @@ func (s *Scenario) Run() (*Result, error) {
 			TxFail:           n.MAC.TxFail,
 			RetryDrops:       n.MAC.RetryDrops,
 			QueueDrops:       n.MAC.QueueDrops,
+			Captured:         n.Radio.RxCaptured,
 			Policy:           policyString(n.Policy),
 			CumulativeQ:      points(n.CumQ),
 			ExplorationRate:  points(n.Rho),

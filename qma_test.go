@@ -48,6 +48,7 @@ func TestMACRegistryRoundTrip(t *testing.T) {
 	want := map[qma.MAC]bool{
 		qma.QMA: true, qma.CSMAUnslotted: true, qma.CSMASlotted: true,
 		qma.Aloha: true, qma.SlottedAloha: true, qma.Bandit: true,
+		qma.NOMA: true,
 	}
 	if len(macs) != len(want) {
 		t.Fatalf("MACs() = %v, want the %d registered protocols", macs, len(want))
@@ -73,6 +74,7 @@ func TestMACRegistryRoundTrip(t *testing.T) {
 		"pure-aloha": qma.Aloha,
 		"s-aloha":    qma.SlottedAloha,
 		"mab":        qma.Bandit,
+		"noma-ql":    qma.NOMA,
 	} {
 		got, err := qma.ParseMAC(alias)
 		if err != nil || got != canonical {
@@ -114,6 +116,115 @@ func TestBanditAliasHonorsExplorer(t *testing.T) {
 	}
 }
 
+// TestNomaCaptureSharing pins the NOMA acceptance behaviour through the
+// public API: on the hidden-node pair with capture enabled, the power-level
+// learner produces deliveries that happened under overlapping transmissions
+// (Captured > 0) — two power levels sharing a subslot — while the identical
+// run without capture produces none.
+func TestNomaCaptureSharing(t *testing.T) {
+	run := func(captureDB float64) *qma.Result {
+		sc := &qma.Scenario{
+			Topology:           qma.HiddenNode(),
+			MAC:                qma.NOMA,
+			CaptureThresholdDB: captureDB,
+			Seed:               1,
+			DurationSeconds:    60,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 10}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 10}}, StartSeconds: 1},
+			},
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	captured := func(r *qma.Result) (n uint64) {
+		for _, node := range r.Nodes {
+			n += node.Captured
+		}
+		return n
+	}
+	with := run(6)
+	if got := captured(with); got == 0 {
+		t.Error("capture-enabled NOMA run shows no captured deliveries — power levels never shared a subslot")
+	}
+	if with.NetworkPDR <= 0 {
+		t.Error("capture-enabled NOMA run delivered nothing")
+	}
+	if got := captured(run(0)); got != 0 {
+		t.Errorf("capture-disabled run reports %d captured deliveries, want 0", got)
+	}
+}
+
+// TestMACOptionsKV pins the generic key=value options plumbing: registry
+// parsing, validation of unknown keys/bad values at Validate time, and a
+// full run under parsed options.
+func TestMACOptionsKV(t *testing.T) {
+	base := func() *qma.Scenario {
+		return &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 10,
+			Traffic:         []qma.Traffic{{Origin: 0, Phases: []qma.Phase{{Rate: 2}}}},
+		}
+	}
+
+	sc := base()
+	sc.MAC = qma.CSMAUnslotted
+	sc.MACOptions = map[string]string{"minbe": "2", "maxbe": "4"}
+	if _, err := sc.Run(); err != nil {
+		t.Errorf("csma options rejected: %v", err)
+	}
+
+	sc = base()
+	sc.MAC = qma.NOMA
+	sc.MACOptions = map[string]string{"levels": "3", "step": "6"}
+	sc.CaptureThresholdDB = 6
+	if _, err := sc.Run(); err != nil {
+		t.Errorf("noma options rejected: %v", err)
+	}
+
+	for name, kv := range map[string]map[string]string{
+		"unknown key":      {"window": "7"},
+		"malformed value":  {"minbe": "two"},
+		"invalid after kv": {"minbe": "9"}, // parses, but ValidateBEB rejects BE > 8
+	} {
+		sc = base()
+		sc.MAC = qma.CSMAUnslotted
+		sc.MACOptions = kv
+		if err := sc.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %v", name, kv)
+		}
+		if _, err := sc.Run(); err == nil {
+			t.Errorf("%s: Run accepted %v", name, kv)
+		}
+	}
+}
+
+// TestExplorerAdoptionIsGeneric pins that the scenario-level Explorer now
+// flows through the registry's AdoptExplorer capability: the bandit picks it
+// up with key=value options present too, and protocols without the hook
+// (CSMA) simply ignore the explorer.
+func TestExplorerAdoptionIsGeneric(t *testing.T) {
+	sc := &qma.Scenario{
+		Topology:        qma.HiddenNode(),
+		MAC:             qma.Bandit,
+		Explorer:        &qma.Explorer{Kind: "constant", Eps0: 0.4},
+		MACOptions:      map[string]string{"picker": "egreedy"},
+		DurationSeconds: 10,
+		Traffic:         []qma.Traffic{{Origin: 0, Phases: []qma.Phase{{Rate: 2}}}},
+	}
+	if _, err := sc.Run(); err != nil {
+		t.Errorf("bandit with explorer and options: %v", err)
+	}
+	sc.MAC = qma.CSMAUnslotted
+	sc.MACOptions = nil
+	if _, err := sc.Run(); err != nil {
+		t.Errorf("csma must ignore the explorer, got: %v", err)
+	}
+}
+
 func TestScenarioValidation(t *testing.T) {
 	cases := map[string]*qma.Scenario{
 		"no topology": {DurationSeconds: 10},
@@ -127,6 +238,10 @@ func TestScenarioValidation(t *testing.T) {
 			Traffic: []qma.Traffic{{Origin: 0}}},
 		"bad explorer": {Topology: qma.HiddenNode(), DurationSeconds: 10,
 			Explorer: &qma.Explorer{Kind: "nope"}},
+		"negative capture": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			CaptureThresholdDB: -2},
+		"bad mac option": {Topology: qma.HiddenNode(), DurationSeconds: 10,
+			MAC: qma.NOMA, MACOptions: map[string]string{"levels": "99"}},
 		"bad broadcast": {Topology: qma.HiddenNode(), DurationSeconds: 10,
 			Broadcasts: []qma.Broadcast{{Origin: 0, PeriodSeconds: 0}}},
 	}
