@@ -1,0 +1,84 @@
+package qma_test
+
+import (
+	"bufio"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// benchEvent is the schema of one line of a committed BENCH_<date>.json
+// snapshot: the `go test -json` event stream (see README "Benchmarks").
+type benchEvent struct {
+	Time    time.Time `json:"Time"`
+	Action  string    `json:"Action"`
+	Package string    `json:"Package"`
+	Test    string    `json:"Test"`
+	Output  string    `json:"Output"`
+	Elapsed float64   `json:"Elapsed"`
+}
+
+var validBenchActions = map[string]bool{
+	"start": true, "run": true, "pause": true, "cont": true,
+	"pass": true, "bench": true, "fail": true, "output": true,
+	"skip": true, "build-output": true, "build-fail": true,
+}
+
+// TestBenchSnapshotsAreWellFormed validates every committed BENCH_*.json
+// against the go-test-json event schema, so a truncated upload or a
+// hand-edited snapshot fails CI instead of silently breaking whatever
+// tooling parses the throughput history later.
+func TestBenchSnapshotsAreWellFormed(t *testing.T) {
+	paths, err := filepath.Glob("BENCH_*.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no BENCH_*.json snapshots in the repository root (README documents at least one)")
+	}
+	for _, path := range paths {
+		t.Run(path, func(t *testing.T) {
+			f, err := os.Open(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			sc := bufio.NewScanner(f)
+			sc.Buffer(make([]byte, 1<<20), 1<<20)
+			line, benchLines := 0, 0
+			for sc.Scan() {
+				line++
+				if strings.TrimSpace(sc.Text()) == "" {
+					continue
+				}
+				var ev benchEvent
+				dec := json.NewDecoder(strings.NewReader(sc.Text()))
+				dec.DisallowUnknownFields()
+				if err := dec.Decode(&ev); err != nil {
+					t.Fatalf("%s:%d: not a go-test-json event: %v", path, line, err)
+				}
+				if !validBenchActions[ev.Action] {
+					t.Fatalf("%s:%d: unknown action %q", path, line, ev.Action)
+				}
+				if ev.Time.IsZero() {
+					t.Fatalf("%s:%d: missing timestamp", path, line)
+				}
+				if ev.Package == "" {
+					t.Fatalf("%s:%d: missing package", path, line)
+				}
+				if strings.Contains(ev.Output, "ns/op") {
+					benchLines++
+				}
+			}
+			if err := sc.Err(); err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			if benchLines == 0 {
+				t.Fatalf("%s: no benchmark result lines (ns/op) — truncated snapshot?", path)
+			}
+		})
+	}
+}

@@ -6,12 +6,15 @@
 //	qma-sim -topology hidden -mac qma -delta 25 -duration 200 -seed 1
 //	qma-sim -topology rings3 -mac unslotted -dsme -duration 400
 //	qma-sim -scale 10000 -delta 0.5 -duration 10 -warmup 1   # 10k-node factory hall
+//	qma-sim -fault-outage 1@100+5+beacons -fault-reboot 0@120 -duration 200
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -19,44 +22,70 @@ import (
 )
 
 func main() {
-	topology := flag.String("topology", "hidden", "hidden | tree | star | rings1..rings4")
-	mac := flag.String("mac", "qma", "MAC protocol: "+macNames()+" (aliases like unslotted/slotted work too)")
-	var macOpts kvFlag
-	flag.Var(&macOpts, "mac-opt", "protocol option as key=value, repeatable (e.g. -mac csma -mac-opt minbe=2; -mac noma -mac-opt levels=3)")
-	captureDB := flag.Float64("capture-db", 0, "SINR capture threshold in dB: the strongest overlapping frame decodes when it clears the interferer sum by this margin (0 = no capture; give noma runs 6 or so)")
-	delta := flag.Float64("delta", 10, "packet generation rate per source [pkt/s]")
-	duration := flag.Float64("duration", 200, "simulated seconds")
-	warmup := flag.Float64("warmup", 50, "seconds before evaluation traffic / measurement")
-	seed := flag.Uint64("seed", 1, "random seed")
-	useDSME := flag.Bool("dsme", false, "run the DSME GTS scenario instead of plain contention")
-	scale := flag.Int("scale", 0, "run a random-uniform factory hall with this many nodes instead of -topology")
-	degree := flag.Float64("degree", 0, "factory-hall target mean decode degree (0 = default 10)")
-	dynamics := flag.Bool("dynamics", false, "enable link dynamics: a canned burst fade at -fade-node (see -fade-*)")
-	fadeNode := flag.Int("fade-node", -1, "node to deep-fade with -dynamics (-1 = the sink)")
-	fadeAt := flag.Float64("fade-at", -1, "fade start in seconds (-1 = half of -duration)")
-	fadeFor := flag.Float64("fade-for", 5, "fade duration in seconds")
-	geBad := flag.Float64("ge-bad", 0, "Gilbert–Elliott mean bad-state sojourn in seconds (0 = off; >0 enables the GE channel, with or without -dynamics)")
-	geGood := flag.Float64("ge-good", 10, "Gilbert–Elliott mean good-state sojourn in seconds")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	mk, err := qma.ParseMAC(*mac)
-	fatalIf(err)
+// run is main without the process exit, so tests can drive the full flag
+// surface — including every parse-error path — in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("qma-sim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+
+	topology := fs.String("topology", "hidden", "hidden | tree | star | rings1..rings4")
+	macFlag := fs.String("mac", "qma", "MAC protocol: "+macNames()+" (aliases like unslotted/slotted work too)")
+	var macOpts kvFlag
+	fs.Var(&macOpts, "mac-opt", "protocol option as key=value, repeatable (e.g. -mac csma -mac-opt minbe=2; -mac noma -mac-opt levels=3)")
+	captureDB := fs.Float64("capture-db", 0, "SINR capture threshold in dB: the strongest overlapping frame decodes when it clears the interferer sum by this margin (0 = no capture; give noma runs 6 or so)")
+	delta := fs.Float64("delta", 10, "packet generation rate per source [pkt/s]")
+	duration := fs.Float64("duration", 200, "simulated seconds")
+	warmup := fs.Float64("warmup", 50, "seconds before evaluation traffic / measurement")
+	seed := fs.Uint64("seed", 1, "random seed")
+	useDSME := fs.Bool("dsme", false, "run the DSME GTS scenario instead of plain contention")
+	scale := fs.Int("scale", 0, "run a random-uniform factory hall with this many nodes instead of -topology")
+	degree := fs.Float64("degree", 0, "factory-hall target mean decode degree (0 = default 10)")
+	dynamics := fs.Bool("dynamics", false, "enable link dynamics: a canned burst fade at -fade-node (see -fade-*)")
+	fadeNode := fs.Int("fade-node", -1, "node to deep-fade with -dynamics (-1 = the sink)")
+	fadeAt := fs.Float64("fade-at", -1, "fade start in seconds (-1 = half of -duration)")
+	fadeFor := fs.Float64("fade-for", 5, "fade duration in seconds")
+	geBad := fs.Float64("ge-bad", 0, "Gilbert–Elliott mean bad-state sojourn in seconds (0 = off; >0 enables the GE channel, with or without -dynamics)")
+	geGood := fs.Float64("ge-good", 10, "Gilbert–Elliott mean good-state sojourn in seconds")
+	var flt faultFlags
+	fs.Var(&flt.outages, "fault-outage", "sink/node outage as NODE@AT+DUR or NODE@AT+DUR+beacons (seconds; +beacons also stops the node's beacons), repeatable")
+	fs.Var(&flt.reboots, "fault-reboot", "node reboot (wipes learning state) as NODE@AT in seconds, repeatable")
+	fs.Var(&flt.ackCorrupt, "fault-ack-corrupt", "global ACK-corruption window as AT+DUR in seconds, repeatable")
+	fs.Var(&flt.beaconLoss, "fault-beacon-loss", "per-node beacon loss as NODE@AT+DUR in seconds, repeatable")
+	if err := fs.Parse(args); err != nil {
+		return 2 // the FlagSet already printed the offending flag to stderr
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "qma-sim:", err)
+		return 1
+	}
+
+	mk, err := qma.ParseMAC(*macFlag)
+	if err != nil {
+		return fail(err)
+	}
 
 	wantDynamics := *dynamics || *geBad > 0
 	if wantDynamics && (*scale > 0 || *useDSME) {
-		fatalIf(fmt.Errorf("-dynamics/-ge-bad are only supported on the plain contention path (not -scale or -dsme)"))
+		return fail(fmt.Errorf("-dynamics/-ge-bad are only supported on the plain contention path (not -scale or -dsme)"))
+	}
+	if flt.enabled() && (*scale > 0 || *useDSME) {
+		return fail(fmt.Errorf("-fault-* flags are only supported on the plain contention path (not -scale or -dsme)"))
 	}
 
 	if *scale > 0 {
 		if *warmup >= *duration {
-			fatalIf(fmt.Errorf("-warmup %g must be below -duration %g (no time left to measure)", *warmup, *duration))
+			return fail(fmt.Errorf("-warmup %g must be below -duration %g (no time left to measure)", *warmup, *duration))
 		}
-		runScale(*scale, *degree, mk, macOpts.kv, *captureDB, *delta, *duration, *warmup, *seed)
-		return
+		return runScale(stdout, stderr, *scale, *degree, mk, macOpts.kv, *captureDB, *delta, *duration, *warmup, *seed)
 	}
 
 	topo, err := parseTopology(*topology)
-	fatalIf(err)
+	if err != nil {
+		return fail(err)
+	}
 
 	if *useDSME {
 		res, err := (&qma.DSMEScenario{
@@ -66,13 +95,15 @@ func main() {
 			DurationSeconds: *duration,
 			WarmupSeconds:   *warmup,
 		}).Run()
-		fatalIf(err)
-		fmt.Printf("secondary PDR        %.3f\n", res.SecondaryPDR)
-		fmt.Printf("GTS-request success  %.3f\n", res.RequestSuccess)
-		fmt.Printf("(de)allocations/s    %.2f\n", res.AllocationsPerSecond)
-		fmt.Printf("primary PDR          %.3f (delay %.3fs)\n", res.PrimaryPDR, res.PrimaryDelaySeconds)
-		fmt.Printf("duplicate GTS        %d\n", res.DuplicateAllocations)
-		return
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stdout, "secondary PDR        %.3f\n", res.SecondaryPDR)
+		fmt.Fprintf(stdout, "GTS-request success  %.3f\n", res.RequestSuccess)
+		fmt.Fprintf(stdout, "(de)allocations/s    %.2f\n", res.AllocationsPerSecond)
+		fmt.Fprintf(stdout, "primary PDR          %.3f (delay %.3fs)\n", res.PrimaryPDR, res.PrimaryDelaySeconds)
+		fmt.Fprintf(stdout, "duplicate GTS        %d\n", res.DuplicateAllocations)
+		return 0
 	}
 
 	sc := &qma.Scenario{
@@ -108,7 +139,12 @@ func main() {
 			}
 			msg += fmt.Sprintf(" Gilbert–Elliott channel good %gs / bad %gs;", *geGood, *geBad)
 		}
-		fmt.Println(strings.TrimSuffix(msg, ";"))
+		fmt.Fprintln(stdout, strings.TrimSuffix(msg, ";"))
+	}
+	if flt.enabled() {
+		sc.Faults = flt.build()
+		fmt.Fprintf(stdout, "faults: %d outage(s), %d reboot(s), %d ACK-corruption window(s), %d beacon-loss window(s)\n",
+			len(sc.Faults.Outages), len(sc.Faults.Reboots), len(sc.Faults.AckCorruption), len(sc.Faults.BeaconLoss))
 	}
 	for i := 0; i < topo.NumNodes(); i++ {
 		if i == sink {
@@ -120,28 +156,34 @@ func main() {
 		)
 	}
 	res, err := sc.Run()
-	fatalIf(err)
+	if err != nil {
+		return fail(err)
+	}
 
-	fmt.Printf("network PDR  %.3f   mean delay %.3fs\n\n", res.NetworkPDR, res.MeanDelaySeconds)
-	fmt.Printf("%-6s %-5s %-9s %-9s %-7s %-8s %s\n", "node", "pdr", "delay[s]", "queue", "tx", "drops", "policy")
+	fmt.Fprintf(stdout, "network PDR  %.3f   mean delay %.3fs\n\n", res.NetworkPDR, res.MeanDelaySeconds)
+	fmt.Fprintf(stdout, "%-6s %-5s %-9s %-9s %-7s %-8s %s\n", "node", "pdr", "delay[s]", "queue", "tx", "drops", "policy")
 	for _, n := range res.Nodes {
 		if n.Generated == 0 && n.TxAttempts == 0 {
 			continue
 		}
-		fmt.Printf("%-6s %-5.3f %-9.3f %-9.2f %-7d %-8d %s\n",
+		fmt.Fprintf(stdout, "%-6s %-5.3f %-9.3f %-9.2f %-7d %-8d %s\n",
 			n.Label, n.PDR, n.MeanDelaySeconds, n.AvgQueueLevel,
 			n.TxAttempts, n.RetryDrops+n.QueueDrops, n.Policy)
 	}
+	return 0
 }
 
 // runScale builds a factory hall and reports aggregate metrics plus
 // simulator throughput instead of a 10,000-row per-node table. Like the
 // plain path it honours -warmup: evaluation traffic starts and measurement
 // begins there (pass -warmup 1 or so for quick throughput probes).
-func runScale(nodes int, degree float64, mk qma.MAC, macOpts map[string]string, captureDB, delta, duration, warmup float64, seed uint64) {
+func runScale(stdout, stderr io.Writer, nodes int, degree float64, mk qma.MAC, macOpts map[string]string, captureDB, delta, duration, warmup float64, seed uint64) int {
 	buildStart := time.Now()
 	topo, err := qma.FactoryHall(nodes, degree, seed)
-	fatalIf(err)
+	if err != nil {
+		fmt.Fprintln(stderr, "qma-sim:", err)
+		return 1
+	}
 	buildWall := time.Since(buildStart)
 
 	sc := &qma.Scenario{
@@ -164,13 +206,17 @@ func runScale(nodes int, degree float64, mk qma.MAC, macOpts map[string]string, 
 	}
 	runStart := time.Now()
 	res, err := sc.Run()
-	fatalIf(err)
+	if err != nil {
+		fmt.Fprintln(stderr, "qma-sim:", err)
+		return 1
+	}
 	wall := time.Since(runStart)
 
-	fmt.Printf("factory hall    %d nodes (%d routed), built in %v\n", nodes, routed, buildWall.Round(time.Microsecond))
-	fmt.Printf("simulated       %.1fs under %s in %v\n", duration, mk, wall.Round(time.Millisecond))
-	fmt.Printf("events          %d (%.0f events/s wall clock)\n", res.Events, float64(res.Events)/wall.Seconds())
-	fmt.Printf("network PDR     %.3f   mean delay %.3fs\n", res.NetworkPDR, res.MeanDelaySeconds)
+	fmt.Fprintf(stdout, "factory hall    %d nodes (%d routed), built in %v\n", nodes, routed, buildWall.Round(time.Microsecond))
+	fmt.Fprintf(stdout, "simulated       %.1fs under %s in %v\n", duration, mk, wall.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "events          %d (%.0f events/s wall clock)\n", res.Events, float64(res.Events)/wall.Seconds())
+	fmt.Fprintf(stdout, "network PDR     %.3f   mean delay %.3fs\n", res.NetworkPDR, res.MeanDelaySeconds)
+	return 0
 }
 
 func parseTopology(s string) (*qma.Topology, error) {
@@ -225,9 +271,118 @@ func (f *kvFlag) Set(s string) error {
 	return nil
 }
 
-func fatalIf(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "qma-sim:", err)
-		os.Exit(1)
+// faultFlags aggregates the repeatable -fault-* flags into a qma.Faults
+// script. Each flag value is a compact spec; the flag package prefixes any
+// Set error with the flag's name, so bad specs always name their flag.
+type faultFlags struct {
+	outages    outageFlag
+	reboots    rebootFlag
+	ackCorrupt windowFlag
+	beaconLoss beaconLossFlag
+}
+
+func (f *faultFlags) enabled() bool {
+	return len(f.outages.v) > 0 || len(f.reboots.v) > 0 ||
+		len(f.ackCorrupt.v) > 0 || len(f.beaconLoss.v) > 0
+}
+
+func (f *faultFlags) build() *qma.Faults {
+	return &qma.Faults{
+		Outages:       f.outages.v,
+		Reboots:       f.reboots.v,
+		AckCorruption: f.ackCorrupt.v,
+		BeaconLoss:    f.beaconLoss.v,
 	}
+}
+
+// parseNodeAt splits "NODE@REST" and parses the node id.
+func parseNodeAt(s string) (node int, rest string, err error) {
+	nodeStr, rest, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, "", fmt.Errorf("want NODE@..., got %q", s)
+	}
+	node, err = strconv.Atoi(nodeStr)
+	if err != nil {
+		return 0, "", fmt.Errorf("bad node id %q", nodeStr)
+	}
+	return node, rest, nil
+}
+
+// parseWindow parses "AT+DUR" in seconds.
+func parseWindow(s string) (at, dur float64, err error) {
+	atStr, durStr, ok := strings.Cut(s, "+")
+	if !ok {
+		return 0, 0, fmt.Errorf("want AT+DUR, got %q", s)
+	}
+	if at, err = strconv.ParseFloat(atStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad start %q", atStr)
+	}
+	if dur, err = strconv.ParseFloat(durStr, 64); err != nil {
+		return 0, 0, fmt.Errorf("bad duration %q", durStr)
+	}
+	return at, dur, nil
+}
+
+type outageFlag struct{ v []qma.Outage }
+
+func (f *outageFlag) String() string { return fmt.Sprintf("%v", f.v) }
+func (f *outageFlag) Set(s string) error {
+	spec, beacons := s, false
+	if rest, ok := strings.CutSuffix(spec, "+beacons"); ok {
+		spec, beacons = rest, true
+	}
+	node, rest, err := parseNodeAt(spec)
+	if err != nil {
+		return err
+	}
+	at, dur, err := parseWindow(rest)
+	if err != nil {
+		return err
+	}
+	f.v = append(f.v, qma.Outage{Node: node, AtSeconds: at, ForSeconds: dur, StopBeacons: beacons})
+	return nil
+}
+
+type rebootFlag struct{ v []qma.RebootEvent }
+
+func (f *rebootFlag) String() string { return fmt.Sprintf("%v", f.v) }
+func (f *rebootFlag) Set(s string) error {
+	node, rest, err := parseNodeAt(s)
+	if err != nil {
+		return err
+	}
+	at, err := strconv.ParseFloat(rest, 64)
+	if err != nil {
+		return fmt.Errorf("bad instant %q", rest)
+	}
+	f.v = append(f.v, qma.RebootEvent{Node: node, AtSeconds: at})
+	return nil
+}
+
+type windowFlag struct{ v []qma.AckCorruption }
+
+func (f *windowFlag) String() string { return fmt.Sprintf("%v", f.v) }
+func (f *windowFlag) Set(s string) error {
+	at, dur, err := parseWindow(s)
+	if err != nil {
+		return err
+	}
+	f.v = append(f.v, qma.AckCorruption{AtSeconds: at, ForSeconds: dur})
+	return nil
+}
+
+type beaconLossFlag struct{ v []qma.BeaconLoss }
+
+func (f *beaconLossFlag) String() string { return fmt.Sprintf("%v", f.v) }
+func (f *beaconLossFlag) Set(s string) error {
+	node, rest, err := parseNodeAt(s)
+	if err != nil {
+		return err
+	}
+	at, dur, err := parseWindow(rest)
+	if err != nil {
+		return err
+	}
+	f.v = append(f.v, qma.BeaconLoss{Node: node, AtSeconds: at, ForSeconds: dur})
+	return nil
 }

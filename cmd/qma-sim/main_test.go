@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestBadFlagValuesExitNonZeroNamingTheFlag drives every user-facing parse
+// error through run() and pins that the process would exit non-zero with a
+// message naming the offending flag — a typo must never silently fall back
+// to defaults.
+func TestBadFlagValuesExitNonZeroNamingTheFlag(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantFlag string
+	}{
+		{"outage missing @", []string{"-fault-outage", "100+5"}, "-fault-outage"},
+		{"outage bad node", []string{"-fault-outage", "x@100+5"}, "-fault-outage"},
+		{"outage missing duration", []string{"-fault-outage", "1@100"}, "-fault-outage"},
+		{"outage bad duration", []string{"-fault-outage", "1@100+x"}, "-fault-outage"},
+		{"reboot missing @", []string{"-fault-reboot", "100"}, "-fault-reboot"},
+		{"reboot bad instant", []string{"-fault-reboot", "0@x"}, "-fault-reboot"},
+		{"ack-corrupt missing duration", []string{"-fault-ack-corrupt", "100"}, "-fault-ack-corrupt"},
+		{"ack-corrupt bad start", []string{"-fault-ack-corrupt", "x+5"}, "-fault-ack-corrupt"},
+		{"beacon-loss missing @", []string{"-fault-beacon-loss", "100+5"}, "-fault-beacon-loss"},
+		{"beacon-loss bad window", []string{"-fault-beacon-loss", "1@z+5"}, "-fault-beacon-loss"},
+		{"mac-opt without =", []string{"-mac-opt", "minbe"}, "-mac-opt"},
+		{"mac-opt empty key", []string{"-mac-opt", "=3"}, "-mac-opt"},
+		{"dynamics non-bool", []string{"-dynamics=maybe"}, "-dynamics"},
+		{"unknown flag", []string{"-fault-quake", "1@2+3"}, "-fault-quake"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("args %v accepted (exit 0); stderr: %s", tc.args, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantFlag) {
+				t.Fatalf("stderr does not name %s:\n%s", tc.wantFlag, stderr.String())
+			}
+		})
+	}
+}
+
+// TestSemanticFlagErrorsExitNonZero covers the post-parse validation paths:
+// values that parse but describe an impossible run.
+func TestSemanticFlagErrorsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name    string
+		args    []string
+		wantMsg string
+	}{
+		{"unknown mac", []string{"-mac", "token-ring"}, "unknown MAC"},
+		{"unknown topology", []string{"-topology", "moebius"}, "unknown topology"},
+		{"mac-opt unknown key", []string{"-mac", "unslotted", "-mac-opt", "warp=9", "-duration", "1"}, "warp"},
+		{"fault node out of range", []string{"-fault-outage", "99@10+5", "-duration", "1"}, "out of range"},
+		{"fault on dsme path", []string{"-dsme", "-fault-reboot", "0@1"}, "-fault-"},
+		{"fault on scale path", []string{"-scale", "50", "-fault-reboot", "0@1"}, "-fault-"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr bytes.Buffer
+			code := run(tc.args, &stdout, &stderr)
+			if code == 0 {
+				t.Fatalf("args %v accepted (exit 0)", tc.args)
+			}
+			if !strings.Contains(stderr.String(), tc.wantMsg) {
+				t.Fatalf("stderr does not mention %q:\n%s", tc.wantMsg, stderr.String())
+			}
+		})
+	}
+}
+
+// TestFaultFlagsReachTheRun wires a full fault script through the CLI on a
+// short run and checks it both executes and announces itself.
+func TestFaultFlagsReachTheRun(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-duration", "20", "-warmup", "2", "-delta", "2",
+		"-fault-outage", "1@8+2+beacons",
+		"-fault-reboot", "0@12",
+		"-fault-ack-corrupt", "14+1",
+		"-fault-beacon-loss", "2@16+1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "faults: 1 outage(s), 1 reboot(s), 1 ACK-corruption window(s), 1 beacon-loss window(s)") {
+		t.Fatalf("fault banner missing:\n%s", out)
+	}
+	if !strings.Contains(out, "network PDR") {
+		t.Fatalf("run did not complete:\n%s", out)
+	}
+}

@@ -99,6 +99,9 @@ type Engine struct {
 
 	// inTransaction guards against starting two concurrent transactions.
 	inTransaction bool
+
+	// epoch counts power-cycle faults (mac.Rebooter); see at().
+	epoch uint32
 }
 
 var _ mac.Engine = (*Engine)(nil)
@@ -148,6 +151,16 @@ func (e *Engine) Enqueue(f *frame.Frame) bool {
 	return ok
 }
 
+// Reboot implements mac.Rebooter: wipe the shared MAC state and the
+// transaction flag (backoff progress lives only in cancelled closures),
+// then resume with whatever traffic arrives next.
+func (e *Engine) Reboot() {
+	e.base.Reboot()
+	e.inTransaction = false
+	e.epoch++
+	e.kick()
+}
+
 // kick starts a transaction for the queue head if none is running.
 func (e *Engine) kick() {
 	if e.inTransaction || e.base.Queue().Empty() {
@@ -162,8 +175,20 @@ func (e *Engine) kick() {
 	}
 }
 
-// at schedules fn at the absolute instant t.
-func (e *Engine) at(t sim.Time, fn func()) { e.base.Kernel().At(t, fn) }
+// at schedules fn at the absolute instant t, bound to the engine's current
+// reboot epoch: a power-cycle fault (mac.Rebooter) bumps the epoch, turning
+// every in-flight continuation — backoff expiries, CCA completions, slot
+// boundaries — into a no-op instead of letting it operate on a flushed
+// queue. Without faults the epoch never changes and the guard is a single
+// always-true comparison.
+func (e *Engine) at(t sim.Time, fn func()) {
+	ep := e.epoch
+	e.base.Kernel().At(t, func() {
+		if e.epoch == ep {
+			fn()
+		}
+	})
+}
 
 // transactionCost is the CAP time one attempt occupies: the frame itself
 // and, for unicasts, the ACK exchange.

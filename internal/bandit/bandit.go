@@ -114,6 +114,9 @@ type Engine struct {
 
 	// pulling guards against two concurrent scheduled attempts.
 	pulling bool
+
+	// epoch counts power-cycle faults (mac.Rebooter); see at().
+	epoch uint32
 }
 
 var _ mac.Engine = (*Engine)(nil)
@@ -179,6 +182,21 @@ func (e *Engine) Enqueue(f *frame.Frame) bool {
 	return ok
 }
 
+// Reboot implements mac.Rebooter: wipe the per-slot reward estimates back
+// to their optimistic prior along with the shared MAC state, then resume
+// with whatever traffic arrives next — the bandit relearns from scratch.
+func (e *Engine) Reboot() {
+	e.base.Reboot()
+	for i := range e.value {
+		e.value[i] = 1
+		e.count[i] = 0
+	}
+	e.total = 0
+	e.pulling = false
+	e.epoch++
+	e.kick()
+}
+
 // kick arms the next pull if none is pending and traffic waits.
 func (e *Engine) kick() {
 	if e.pulling || e.base.Queue().Empty() {
@@ -189,8 +207,20 @@ func (e *Engine) kick() {
 	e.at(e.nextSlotStart(m), func() { e.fire(m) })
 }
 
-// at schedules fn at the absolute instant t.
-func (e *Engine) at(t sim.Time, fn func()) { e.base.Kernel().At(t, fn) }
+// at schedules fn at the absolute instant t, bound to the engine's current
+// reboot epoch: a power-cycle fault (mac.Rebooter) bumps the epoch, turning
+// every in-flight continuation — backoff expiries, CCA completions, slot
+// boundaries — into a no-op instead of letting it operate on a flushed
+// queue. Without faults the epoch never changes and the guard is a single
+// always-true comparison.
+func (e *Engine) at(t sim.Time, fn func()) {
+	ep := e.epoch
+	e.base.Kernel().At(t, func() {
+		if e.epoch == ep {
+			fn()
+		}
+	})
+}
 
 // nextSlotStart reports the first strictly future start of subslot m.
 func (e *Engine) nextSlotStart(m int) sim.Time {

@@ -71,11 +71,17 @@ type Engine struct {
 	rng      *sim.Rand
 
 	startupLeft   int
+	startupInit   int
 	startupPunish bool
 
 	armed    sim.EventID
 	pend     *pending
 	overhear bool
+
+	// epoch counts power-cycle faults (mac.Rebooter). Kernel closures that
+	// outlive a reboot — the CCA completion — capture the epoch they were
+	// scheduled under and become no-ops when it has moved on.
+	epoch uint32
 
 	stats Stats
 
@@ -129,6 +135,7 @@ func New(cfg Config) *Engine {
 		explorer:      explorer,
 		rng:           cfg.Rng,
 		startupLeft:   cfg.StartupSubslots,
+		startupInit:   cfg.StartupSubslots,
 		startupPunish: cfg.StartupPunish,
 		actionCounts:  make([][NumActions]uint64, subslots),
 	}
@@ -190,6 +197,26 @@ func (e *Engine) ResetActionCounts() {
 	for i := range e.actionCounts {
 		e.actionCounts[i] = [NumActions]uint64{}
 	}
+}
+
+// Reboot implements mac.Rebooter: a power-cycle fault wipes everything a
+// real node keeps in RAM — the Q-table and policy, the pending reward
+// window, cautious-startup progress and the shared MAC state — and restarts
+// the engine as a freshly joined node (full cautious startup). The
+// instrumentation counters (stats, action counts) survive: they are
+// measurement infrastructure, not node state, and the relearning cost the
+// faults experiments report depends on seeing across the reboot.
+func (e *Engine) Reboot() {
+	e.base.Reboot()
+	e.armed.Cancel()
+	e.armed = sim.EventID{}
+	e.pend = nil
+	e.overhear = false
+	e.startupLeft = e.startupInit
+	e.learner.Reset(int(QBackoff))
+	e.rhoSum, e.rhoCount = 0, 0
+	e.epoch++
+	e.arm()
 }
 
 // arm schedules the next subslot tick unless one is already scheduled.
@@ -314,7 +341,13 @@ func (e *Engine) execute(m int, action Action) {
 func (e *Engine) startCCA(m int) {
 	now := e.base.Kernel().Now()
 	e.base.ExtendBusy(now + frame.CCADuration)
+	ep := e.epoch
 	e.base.Kernel().Schedule(frame.CCADuration, func() {
+		if e.epoch != ep {
+			// A reboot fault struck mid-CCA; the continuation belongs to the
+			// previous life of this node.
+			return
+		}
 		if !e.base.Medium().CCA(e.base.ID()) {
 			// Channel busy: reward 1 and back off to the next subslot
 			// (Eq. 7, the QCCA(fail) edge of Fig. 3).

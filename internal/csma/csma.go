@@ -80,6 +80,9 @@ type Engine struct {
 
 	// inTransaction guards against starting two concurrent transactions.
 	inTransaction bool
+
+	// epoch counts power-cycle faults (mac.Rebooter); see at().
+	epoch uint32
 }
 
 var _ mac.Engine = (*Engine)(nil)
@@ -131,6 +134,16 @@ func (e *Engine) Enqueue(f *frame.Frame) bool {
 	return ok
 }
 
+// Reboot implements mac.Rebooter: wipe the shared MAC state and the
+// transaction flag (backoff exponent and NB live only in cancelled
+// closures), then resume with whatever traffic arrives next.
+func (e *Engine) Reboot() {
+	e.base.Reboot()
+	e.inTransaction = false
+	e.epoch++
+	e.kick()
+}
+
 // kick starts a transaction for the queue head if none is running.
 func (e *Engine) kick() {
 	if e.inTransaction || e.base.Queue().Empty() {
@@ -165,8 +178,20 @@ func (e *Engine) transactionCost(f *frame.Frame, ccas int) sim.Time {
 	return cost
 }
 
-// at schedules fn at the absolute instant t.
-func (e *Engine) at(t sim.Time, fn func()) { e.base.Kernel().At(t, fn) }
+// at schedules fn at the absolute instant t, bound to the engine's current
+// reboot epoch: a power-cycle fault (mac.Rebooter) bumps the epoch, turning
+// every in-flight continuation — backoff expiries, CCA completions, slot
+// boundaries — into a no-op instead of letting it operate on a flushed
+// queue. Without faults the epoch never changes and the guard is a single
+// always-true comparison.
+func (e *Engine) at(t sim.Time, fn func()) {
+	ep := e.epoch
+	e.base.Kernel().At(t, func() {
+		if e.epoch == ep {
+			fn()
+		}
+	})
+}
 
 // ---- Unslotted variant -------------------------------------------------
 

@@ -188,3 +188,21 @@ func TestScenarioDeterminism(t *testing.T) {
 		}
 	}
 }
+
+func TestScenarioBudgetAndInvariantChecks(t *testing.T) {
+	// A tiny event budget truncates the run and says so.
+	cfg := twoNodeConfig(scenario.QMA, 3)
+	cfg.EventBudget = 500
+	if res := RunScenario(cfg); !res.Truncated {
+		t.Fatal("500-event budget did not truncate a 180 s DSME run")
+	}
+	// With the invariant checkers armed and no budget, a short run completes
+	// cleanly and is not marked truncated.
+	clean := twoNodeConfig(scenario.QMA, 3)
+	clean.Duration = 30 * sim.Second
+	clean.Warmup = 10 * sim.Second
+	clean.InvariantChecks = true
+	if res := RunScenario(clean); res.Truncated {
+		t.Error("unbudgeted run reports truncation")
+	}
+}

@@ -1,6 +1,8 @@
 package dsme
 
 import (
+	"time"
+
 	"qma/internal/frame"
 	"qma/internal/mac"
 	"qma/internal/radio"
@@ -43,6 +45,14 @@ type ScenarioConfig struct {
 	BroadcastPeriod sim.Time
 	// MaxTxSlots caps the GTS a node may hold (0 selects the CFP width).
 	MaxTxSlots int
+	// EventBudget truncates the run after this many kernel events when
+	// positive; WallBudget truncates it after this much real time. Both mark
+	// ScenarioResult.Truncated, like scenario.Config's fields of the same
+	// names.
+	EventBudget uint64
+	WallBudget  time.Duration
+	// InvariantChecks arms the kernel and medium runtime self-checks.
+	InvariantChecks bool
 }
 
 // ScenarioResult carries the §6.3 metrics.
@@ -58,6 +68,9 @@ type ScenarioResult struct {
 	CAP []mac.Stats
 	// SlotsOwned is the final number of TX slots per node.
 	SlotsOwned []int
+	// Truncated reports that the run was cut short by EventBudget or
+	// WallBudget before reaching Duration.
+	Truncated bool
 }
 
 // RunScenario executes a DSME data-collection run.
@@ -84,6 +97,13 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 	kernel := sim.NewKernel()
 	clock := superframe.NewClock(superframe.DefaultConfig())
 	medium := radio.NewMedium(kernel, cfg.Network.Topology, sim.NewRandStream(cfg.Seed, 1000))
+	if cfg.EventBudget > 0 || cfg.WallBudget > 0 {
+		kernel.SetBudget(cfg.EventBudget, cfg.WallBudget)
+	}
+	if cfg.InvariantChecks {
+		kernel.SetInvariantChecks(true)
+		medium.SetInvariantChecks(true)
+	}
 	metrics := &Metrics{}
 	pool := &frame.Pool{}
 
@@ -172,6 +192,7 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 		Nodes:      make([]NodeStats, n),
 		CAP:        make([]mac.Stats, n),
 		SlotsOwned: make([]int, n),
+		Truncated:  kernel.BudgetExhausted(),
 	}
 	var completed uint64
 	for i, node := range nodes {

@@ -52,7 +52,7 @@ func RunAblations(mode Mode) []*Table {
 		{"policy re-evaluation on decay", scenario.QMAOptions{ReevalOnDecay: true}},
 	}
 
-	ests := stats.ReplicateGrid(len(variants), mode.Reps, mode.Parallel,
+	ests, repErrs := stats.ReplicateGrid(len(variants), mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			cfg := hiddenNodeConfig(scenario.QMA, 25, mode, seed)
 			cfg.QMA = variants[cell].opts
@@ -71,5 +71,6 @@ func RunAblations(mode Mode) []*Table {
 	t.Notes = append(t.Notes,
 		"the fixed-point and quantized variants should track the float table closely — the paper's resource argument",
 		"the pure optimistic rule (no ξ) is expected to degrade: lucky collisions freeze bad policies (§3.1.1)")
+	noteRepErrors(t, repErrs)
 	return []*Table{t}
 }

@@ -97,7 +97,7 @@ func RunBaselines(mode Mode) []*Table {
 
 	// One grid cell per (topology, protocol) pair; the whole family shares
 	// one worker pool.
-	est := stats.ReplicateGrid(len(cases)*len(macs), mode.Reps, mode.Parallel,
+	est, repErrs := stats.ReplicateGrid(len(cases)*len(macs), mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			c, mk := cases[cell/len(macs)], macs[cell%len(macs)]
 			cfg := baselineConfig(c, mk, mode, seed)
@@ -151,5 +151,6 @@ func RunBaselines(mode Mode) []*Table {
 		"at the hidden-node pair carrier sensing cannot see the competing transmitter, so CSMA/CA buys nothing over ALOHA's random backoff (and wastes CAP on CCAs); QMA's learned schedule sidesteps the collisions entirely. In the multi-hop topologies the ordering flips: carrier sensing defers to the relay's traffic, pure ALOHA tramples it",
 		"the slot bandit converges on a collision-free slot but serves at most ~1 frame per superframe per node, which caps its throughput and delay",
 		"the energy column is dominated by the shared CAP listening floor (§6.2.1), so it mostly tracks 1/delivered")
+	noteRepErrors(tables[0], repErrs)
 	return tables
 }

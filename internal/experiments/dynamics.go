@@ -271,7 +271,7 @@ func RunDynamics(mode Mode) []*Table {
 	// Cell layout: per MAC, four independent runs — fade, churn, GE-off,
 	// GE-on — all sharded over one pool.
 	const cases = 4
-	ests := stats.ReplicateGrid(len(macs)*cases, mode.Reps, mode.Parallel,
+	ests, repErrs := stats.ReplicateGrid(len(macs)*cases, mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			mk := macs[cell/cases]
 			switch cell % cases {
@@ -313,5 +313,6 @@ func RunDynamics(mode Mode) []*Table {
 		"while node 18 is away, two thirds of the origins have no route; leave/rejoin re-classifies links incrementally (O(degree))")
 	ge.Notes = append(ge.Notes,
 		"the burst channel fails whole handshakes at once (symmetric per-link state), which CSMA/CA answers with blind retries while QMA's punishments shift its policy")
+	noteRepErrors(fade, repErrs)
 	return []*Table{fade, churn, ge}
 }

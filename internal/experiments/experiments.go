@@ -15,6 +15,7 @@ import (
 	"strings"
 
 	"qma/internal/sim"
+	"qma/internal/stats"
 )
 
 // Mode scales an experiment between bench-friendly and paper-scale runs.
@@ -183,3 +184,19 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 
 // ci renders "mean ±hw".
 func ci(mean, hw float64) string { return fmt.Sprintf("%.3f ±%.3f", mean, hw) }
+
+// noteRepErrors records replications the hardened pool had to drop (panicked
+// twice) as a table note, so a degraded sweep is visibly degraded in every
+// rendering. On a clean run it appends nothing — golden digests stay
+// byte-identical.
+func noteRepErrors(t *Table, errs []*stats.RepError) {
+	if len(errs) == 0 {
+		return
+	}
+	parts := make([]string, len(errs))
+	for i, e := range errs {
+		parts[i] = fmt.Sprintf("cell %d seed %d (%v)", e.Cell, e.Seed, e.Value)
+	}
+	t.Notes = append(t.Notes, fmt.Sprintf("%d replication(s) lost to panics and excluded from the estimates: %s",
+		len(errs), strings.Join(parts, "; ")))
+}

@@ -73,7 +73,7 @@ func RunHiddenNodeSweep(mode Mode) []*Table {
 	// pool instead of parallelizing only within a point's few replications.
 	deltas := sweepDeltas(mode)
 	macs := sweepMACs()
-	est := stats.ReplicateGrid(len(deltas)*len(macs), mode.Reps, mode.Parallel,
+	est, repErrs := stats.ReplicateGrid(len(deltas)*len(macs), mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			delta, mk := deltas[cell/len(macs)], macs[cell%len(macs)]
 			res := scenario.Run(hiddenNodeConfig(mk, delta, mode, seed))
@@ -101,6 +101,7 @@ func RunHiddenNodeSweep(mode Mode) []*Table {
 		"paper: QMA ~0.97 at δ=25 while CSMA/CA collapses; QMA at δ=50 matches CSMA/CA at δ=10")
 	queue.Notes = append(queue.Notes,
 		"queue level averaged over the evaluation-traffic window (max queue = 8)")
+	noteRepErrors(pdr, repErrs)
 	return []*Table{pdr, queue, delay}
 }
 
@@ -153,7 +154,7 @@ func RunConvergence(mode Mode) []*Table {
 	order := []string{"δ=1", "δ=10", "δ=100"}
 	deltas := []float64{1, 10, 100}
 	results := make([]*scenario.Result, len(deltas))
-	stats.ForEach(len(deltas), mode.Parallel, func(i int) {
+	errs := stats.ForEach(len(deltas), mode.Parallel, func(i int) {
 		cfg := hiddenNodeConfig(scenario.QMA, deltas[i], mode, 1)
 		cfg.Duration = duration
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe
@@ -162,6 +163,11 @@ func RunConvergence(mode Mode) []*Table {
 		}
 		results[i] = scenario.Run(cfg)
 	})
+	if len(errs) > 0 {
+		// Every slot feeds a series below; there is no partial rendering of a
+		// time-series figure, so surface the structured failure.
+		panic(errs[0])
+	}
 	cumQ := map[string]*stats.Series{}
 	rho := map[string]*stats.Series{}
 	for i, delta := range deltas {
@@ -244,7 +250,7 @@ func RunSlotUtilization(mode Mode) []*Table {
 	}
 	// Two independent runs (snapshot, final) per case, all sharded together.
 	results := make([]*scenario.Result, 2*len(cases))
-	stats.ForEach(len(results), mode.Parallel, func(i int) {
+	errs := stats.ForEach(len(results), mode.Parallel, func(i int) {
 		c := cases[i/2]
 		duration := c.snapshot
 		if i%2 == 1 {
@@ -257,6 +263,9 @@ func RunSlotUtilization(mode Mode) []*Table {
 		}
 		results[i] = scenario.Run(cfg)
 	})
+	if len(errs) > 0 {
+		panic(errs[0]) // both runs of a case feed its table; no partial render
+	}
 	for idx, c := range cases {
 		t := &Table{
 			ID:      c.fig,

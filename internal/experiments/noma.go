@@ -56,7 +56,7 @@ func RunNoma(mode Mode) []*Table {
 	profile := energy.AT86RF231()
 	capDuty := float64(superframe.DefaultConfig().CAPDuration()) / float64(superframe.DefaultConfig().SuperframeDuration())
 
-	est := stats.ReplicateGrid(len(cases)*len(rows), mode.Reps, mode.Parallel,
+	est, repErrs := stats.ReplicateGrid(len(cases)*len(rows), mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			c, row := cases[cell/len(rows)], rows[cell%len(rows)]
 			cfg := baselineConfig(c, row.mk, mode, seed)
@@ -115,5 +115,6 @@ func RunNoma(mode Mode) []*Table {
 		"the single-power rows (QMA, CSMA/CA) run without capture and can never capture anyway: equal received powers always tie",
 		"at θ=12dB a single 6 dB level step no longer clears the threshold on equal-gain links, so capture on the hidden-node pair needs the K=3 spread or geometry",
 		"energy/delivered charges each power level at its AT86RF231 TX_PWR step draw, so reduced-level transmissions are cheaper than the flat 14 mA model would claim")
+	noteRepErrors(tables[0], repErrs)
 	return tables
 }

@@ -71,7 +71,7 @@ func runTestbedPDR(mode Mode, net *topo.Network, id, kind string) []*Table {
 	// (keyed by node id) so each replication writes only its own result
 	// slot — the previous version mutated a shared accumulator from inside
 	// the replication goroutines, a data race.
-	est := stats.ReplicateGrid(len(macs), mode.Reps, mode.Parallel,
+	est, repErrs := stats.ReplicateGrid(len(macs), mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			res := scenario.Run(testbedConfig(net, macs[cell], mode, seed))
 			out := make(map[string]float64)
@@ -97,6 +97,7 @@ func runTestbedPDR(mode Mode, net *topo.Network, id, kind string) []*Table {
 	}
 	t.Notes = append(t.Notes,
 		"paper: QMA achieves a higher PDR at all nodes; in our substrate CSMA/CA's carrier sensing is close to ideal and QMA lands slightly below it — see the Fig. 18/19 discussion in EXPERIMENTS.md")
+	noteRepErrors(t, repErrs)
 	return []*Table{t}
 }
 
@@ -113,7 +114,7 @@ func RunEnergyParity(mode Mode) []*Table {
 	profile := energy.AT86RF231()
 	capDuty := float64(superframe.DefaultConfig().CAPDuration()) / float64(superframe.DefaultConfig().SuperframeDuration())
 	macs := []scenario.MACKind{scenario.QMA, scenario.CSMAUnslotted}
-	ests := stats.ReplicateGrid(len(macs), mode.Reps, mode.Parallel,
+	ests, repErrs := stats.ReplicateGrid(len(macs), mode.Reps, mode.Parallel,
 		func(cell int, seed uint64) map[string]float64 {
 			cfg := testbedConfig(net, macs[cell], mode, seed)
 			res := scenario.Run(cfg)
@@ -146,5 +147,6 @@ func RunEnergyParity(mode Mode) []*Table {
 	}
 	t.Notes = append(t.Notes,
 		"the listening floor (transceiver on during every CAP) dominates; total energy differs by well under 1% while delivered packets differ, so QMA's energy per delivered packet is lower")
+	noteRepErrors(t, repErrs)
 	return []*Table{t}
 }

@@ -10,6 +10,28 @@ package frame
 // that can prove their frames' lifecycles end.
 type Pool struct {
 	free []*Frame
+	// idle, when non-nil, is the opt-in double-release detector: the set of
+	// frames currently resting in the pool (SetChecks).
+	idle map[*Frame]bool
+}
+
+// SetChecks toggles the opt-in double-release detector: with checks on, Put
+// panics when handed a frame that is already idle in the pool — the bug that
+// otherwise surfaces much later as two live users of one recycled frame.
+// Tests and fuzz harnesses enable it; it costs one map operation per Get and
+// Put. No-op on a nil pool.
+func (p *Pool) SetChecks(on bool) {
+	if p == nil {
+		return
+	}
+	if !on {
+		p.idle = nil
+		return
+	}
+	p.idle = make(map[*Frame]bool, len(p.free))
+	for _, f := range p.free {
+		p.idle[f] = true
+	}
 }
 
 // Get returns a zeroed frame, reusing a recycled one when available.
@@ -20,6 +42,9 @@ func (p *Pool) Get() *Frame {
 	if n := len(p.free); n > 0 {
 		f := p.free[n-1]
 		p.free = p.free[:n-1]
+		if p.idle != nil {
+			delete(p.idle, f)
+		}
 		*f = Frame{}
 		return f
 	}
@@ -33,6 +58,12 @@ func (p *Pool) Get() *Frame {
 func (p *Pool) Put(f *Frame) {
 	if p == nil || f == nil {
 		return
+	}
+	if p.idle != nil {
+		if p.idle[f] {
+			panic("frame: double release of a pooled frame")
+		}
+		p.idle[f] = true
 	}
 	p.free = append(p.free, f)
 }

@@ -41,6 +41,38 @@ func TestPoolNilSafety(t *testing.T) {
 	}
 }
 
+func TestPoolDoubleReleaseDetector(t *testing.T) {
+	p := &Pool{}
+	var pNil *Pool
+	pNil.SetChecks(true) // no-op, must not panic
+
+	// Without checks a double Put is silently absorbed (the historical
+	// behaviour); with checks it must panic immediately.
+	f := p.Get()
+	p.Put(f)
+	p.Put(f)
+	p.free = p.free[:0]
+
+	p.SetChecks(true)
+	g := p.Get()
+	p.Put(g)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double release not detected")
+			}
+		}()
+		p.Put(g)
+	}()
+
+	// A Get/Put cycle is still legal with checks on, and disabling checks
+	// drops the tracking.
+	h := p.Get()
+	p.Put(h)
+	p.SetChecks(false)
+	p.Put(p.Get()) // must not panic
+}
+
 func TestPoolSteadyStateDoesNotAllocate(t *testing.T) {
 	p := &Pool{}
 	p.Put(p.Get()) // warm one slot

@@ -70,6 +70,18 @@ type Stats struct {
 	Forwarded uint64
 	// Duplicates counts received frames rejected as duplicates.
 	Duplicates uint64
+	// FaultTxSuppressed counts transmissions suppressed by fault injection
+	// (internal/faults): the node was down or had lost beacon sync, so the
+	// frame never reached the air even though the engine went through its
+	// full transmit sequence.
+	FaultTxSuppressed uint64
+	// FaultRxDropped counts frames that arrived while the node was down.
+	FaultRxDropped uint64
+	// AcksCorrupted counts acknowledgements discarded undecoded inside an
+	// ACK-corruption window.
+	AcksCorrupted uint64
+	// Reboots counts power-cycle faults applied to this node.
+	Reboots uint64
 }
 
 // Config assembles a Base. All reference fields are required.
@@ -147,6 +159,26 @@ type Base struct {
 
 	waiting *pendingAck
 
+	// txDone is the pending broadcast-completion event. A node transmits at
+	// most one frame at a time, so a single handle suffices; Reboot cancels
+	// it so a stale completion cannot fire into a flushed queue.
+	txDone sim.EventID
+
+	// ackEvents are the scheduled-but-not-yet-transmitted immediate ACKs,
+	// tracked so Reboot can cancel them. Pruned lazily on every sendAck, the
+	// slice holds at most a handful of entries.
+	ackEvents []sim.EventID
+
+	// downUntil, desyncUntil and ackCorruptUntil carry the fault-injection
+	// horizons (internal/faults): while down the node neither transmits nor
+	// receives; while desynchronized it receives but does not transmit;
+	// while ACKs are corrupted every inbound ACK is dropped undecoded. All
+	// three are plain timestamps, so a zero-valued fault schedule costs a
+	// few always-false comparisons and changes nothing else.
+	downUntil       sim.Time
+	desyncUntil     sim.Time
+	ackCorruptUntil sim.Time
+
 	// neighborQueue holds the most recently overheard queue level per
 	// neighbour (piggybacked in every frame, §4.2) with its reception time.
 	neighborQueue map[frame.NodeID]neighborLevel
@@ -223,6 +255,85 @@ func (b *Base) ExtendBusy(t sim.Time) {
 	if t > b.busyUntil {
 		b.busyUntil = t
 	}
+}
+
+// SetDownUntil takes the node completely off the network until t: nothing
+// it sends reaches the air (engines still observe ordinary failed-unicast
+// timing) and nothing sent to it is received or acknowledged. Fault
+// injection for coordinator/sink outages (internal/faults).
+func (b *Base) SetDownUntil(t sim.Time) {
+	if t > b.downUntil {
+		b.downUntil = t
+	}
+}
+
+// SetDesyncUntil suspends the node's channel access until t: transmissions
+// are suppressed, reception stays intact. Fault injection for beacon loss —
+// a node without beacon synchronization must not transmit, but its receiver
+// keeps listening.
+func (b *Base) SetDesyncUntil(t sim.Time) {
+	if t > b.desyncUntil {
+		b.desyncUntil = t
+	}
+}
+
+// CorruptAcksUntil drops every inbound acknowledgement undecoded until t:
+// transmitters see timeouts and retry even though their data arrived. Fault
+// injection for the classic asymmetric ACK-path failure.
+func (b *Base) CorruptAcksUntil(t sim.Time) {
+	if t > b.ackCorruptUntil {
+		b.ackCorruptUntil = t
+	}
+}
+
+// Down reports whether the node is inside an outage window.
+func (b *Base) Down() bool { return b.downUntil > b.cfg.Kernel.Now() }
+
+// Desynced reports whether the node has lost beacon synchronization.
+func (b *Base) Desynced() bool { return b.desyncUntil > b.cfg.Kernel.Now() }
+
+// Rebooter is implemented by engines that support the power-cycle fault of
+// internal/faults. Reboot must wipe all volatile protocol state — learning
+// tables, backoff progress, transaction flags — on top of Base.Reboot, then
+// re-enter the engine's startup behaviour. Engines that don't implement it
+// still get their shared Base state wiped.
+type Rebooter interface {
+	Reboot()
+}
+
+// Reboot wipes the Base's volatile state as a power cycle would: the
+// transmit queue, the pending ACK wait, scheduled immediate ACKs, the
+// pending broadcast completion, the neighbour table and the
+// duplicate-rejection history. Cancelled outcome callbacks are never
+// invoked — the engine above resets its own transaction state in the same
+// instant (mac.Rebooter). busyUntil is intentionally preserved: the PHY
+// finishes an in-air symbol regardless of what the MCU does. Flushed frames
+// are not returned to the frame pool, because the medium or a cancelled
+// closure may still reference them; they leak to the garbage collector,
+// which is the price of a mid-transaction power cycle, not a steady-state
+// cost.
+func (b *Base) Reboot() {
+	if b.waiting != nil {
+		b.waiting.timer.Cancel()
+		b.waiting = nil
+	}
+	b.txDone.Cancel()
+	b.txDone = sim.EventID{}
+	for _, ev := range b.ackEvents {
+		ev.Cancel()
+	}
+	b.ackEvents = b.ackEvents[:0]
+	b.noteQueueChange()
+	// Drain by count: a Done callback may legitimately enqueue a fresh
+	// frame (e.g. a retried handshake), which the post-reboot node keeps.
+	for n := b.queue.Len(); n > 0; n-- {
+		f := b.queue.Pop()
+		b.signalDone(f, false)
+	}
+	clear(b.neighborQueue)
+	clear(b.lastSeq)
+	clear(b.hasSeq)
+	b.stats.Reboots++
 }
 
 // Enqueue implements Engine: it offers f to the transmit queue, tracking the
@@ -316,10 +427,42 @@ func (b *Base) SendFrameAt(f *frame.Frame, reduceDB float64, cb func(success boo
 	}
 	f.QueueLevel = uint8(ql)
 	b.stats.TxAttempts++
+	now := b.cfg.Kernel.Now()
+	if b.downUntil > now || b.desyncUntil > now {
+		return b.suppressTX(f, cb)
+	}
 	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, f, reduceDB)
 	if f.IsBroadcast() {
 		b.ExtendBusy(txEnd)
-		b.cfg.Kernel.At(txEnd, func() {
+		b.txDone = b.cfg.Kernel.At(txEnd, func() {
+			b.stats.TxSuccess++
+			cb(true)
+		})
+		return txEnd
+	}
+	deadline := txEnd + frame.AckWait
+	b.ExtendBusy(deadline)
+	w := &pendingAck{from: f.Dst, seq: f.Seq, cb: cb}
+	w.timer = b.cfg.Kernel.At(deadline, func() {
+		b.waiting = nil
+		b.stats.TxFail++
+		cb(false)
+	})
+	b.waiting = w
+	return deadline
+}
+
+// suppressTX mimics the exact timing of a transmission whose frame reached
+// nobody, without touching the medium: the node is down or has lost beacon
+// synchronization, so nothing goes on the air, but the engine above sees
+// the ordinary failed-unicast (or completed-broadcast) sequence and runs
+// its unmodified retry logic.
+func (b *Base) suppressTX(f *frame.Frame, cb func(success bool)) sim.Time {
+	b.stats.FaultTxSuppressed++
+	txEnd := b.cfg.Kernel.Now() + f.Duration()
+	if f.IsBroadcast() {
+		b.ExtendBusy(txEnd)
+		b.txDone = b.cfg.Kernel.At(txEnd, func() {
 			b.stats.TxSuccess++
 			cb(true)
 		})
@@ -390,11 +533,24 @@ func (b *Base) DropCSMAFailure(f *frame.Frame) {
 // addressed to this node are acknowledged, de-duplicated and handed to the
 // sink, forwarding or command paths.
 func (b *Base) Deliver(f *frame.Frame) {
+	now := b.cfg.Kernel.Now()
+	if b.downUntil > now {
+		// Outage: the receiver is off. Nothing is decoded, overheard or
+		// acknowledged (fault injection, internal/faults).
+		b.stats.FaultRxDropped++
+		return
+	}
+	if f.Kind == frame.Ack && b.ackCorruptUntil > now {
+		// ACK-corruption window: the ACK arrives as noise, invisible even to
+		// the overhear hook.
+		b.stats.AcksCorrupted++
+		return
+	}
 	if b.cfg.OnOverhear != nil {
 		b.cfg.OnOverhear(f)
 	}
 	if f.Kind != frame.Ack && f.Src != b.cfg.ID {
-		b.neighborQueue[f.Src] = neighborLevel{level: f.QueueLevel, at: b.cfg.Kernel.Now()}
+		b.neighborQueue[f.Src] = neighborLevel{level: f.QueueLevel, at: now}
 	}
 
 	switch {
@@ -505,7 +661,22 @@ func (b *Base) sendAck(f *frame.Frame) {
 	ack.MPDUBytes = frame.AckMPDUBytes
 	ack.Channel = f.Channel
 	b.ExtendBusy(ackStart + frame.AckDuration)
-	b.cfg.Kernel.AtCall(ackStart, b.ackStartFn, ack)
+	b.trackAck(b.cfg.Kernel.AtCall(ackStart, b.ackStartFn, ack))
+}
+
+// trackAck remembers a scheduled immediate-ACK event so Reboot can cancel
+// it, lazily pruning entries that already fired. A node rarely owes more
+// than one ACK at a time, so the prune is O(1) in practice and the slice
+// never regrows after warm-up.
+func (b *Base) trackAck(ev sim.EventID) {
+	n := 0
+	for _, e := range b.ackEvents {
+		if e.Pending() {
+			b.ackEvents[n] = e
+			n++
+		}
+	}
+	b.ackEvents = append(b.ackEvents[:n], ev)
 }
 
 // transmitAck puts a prepared immediate ACK on the air and arranges its
@@ -514,8 +685,9 @@ func (b *Base) sendAck(f *frame.Frame) {
 func (b *Base) transmitAck(ack *frame.Frame) {
 	// Skip the ACK if the node somehow started transmitting meanwhile
 	// (cannot normally happen: a node transmitting during the reception
-	// would have corrupted it).
-	if b.cfg.Medium.Transmitting(b.cfg.ID) {
+	// would have corrupted it), or if an outage began in the turnaround gap
+	// — a down node stays silent.
+	if b.cfg.Medium.Transmitting(b.cfg.ID) || b.downUntil > b.cfg.Kernel.Now() {
 		b.cfg.FramePool.Put(ack)
 		return
 	}

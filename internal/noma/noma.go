@@ -178,11 +178,15 @@ type Engine struct {
 	actions int // NumKinds * levels
 
 	startupLeft   int
+	startupInit   int
 	startupPunish bool
 
 	armed    sim.EventID
 	pend     *pending
 	overhear bool
+
+	// epoch counts power-cycle faults (mac.Rebooter); see core.Engine.
+	epoch uint32
 
 	// txWaiting/foreignAck implement the captured-over detection: foreignAck
 	// records whether an ACK addressed to another node was overheard while
@@ -249,6 +253,7 @@ func New(cfg Config) *Engine {
 		stepDB:        cfg.LevelStepDB,
 		actions:       actions,
 		startupLeft:   cfg.StartupSubslots,
+		startupInit:   cfg.StartupSubslots,
 		startupPunish: cfg.StartupPunish,
 	}
 	e.stats.LevelCount = make([]uint64, cfg.Levels)
@@ -301,6 +306,23 @@ func (e *Engine) Enqueue(f *frame.Frame) bool {
 		e.arm()
 	}
 	return ok
+}
+
+// Reboot implements mac.Rebooter: wipe the Q-table, policy, pending reward
+// window, captured-over detection and cautious-startup progress along with
+// the shared MAC state, then restart as a freshly joined node.
+func (e *Engine) Reboot() {
+	e.base.Reboot()
+	e.armed.Cancel()
+	e.armed = sim.EventID{}
+	e.pend = nil
+	e.overhear = false
+	e.txWaiting = false
+	e.foreignAck = false
+	e.startupLeft = e.startupInit
+	e.learner.Reset(e0BackoffAction)
+	e.epoch++
+	e.arm()
 }
 
 // arm schedules the next subslot tick unless one is already scheduled.
@@ -426,7 +448,12 @@ func (e *Engine) execute(m, action int) {
 func (e *Engine) startCCA(m, action int) {
 	now := e.base.Kernel().Now()
 	e.base.ExtendBusy(now + frame.CCADuration)
+	ep := e.epoch
 	e.base.Kernel().Schedule(frame.CCADuration, func() {
+		if e.epoch != ep {
+			// A reboot fault struck mid-CCA (see core.Engine.startCCA).
+			return
+		}
 		if !e.base.Medium().CCA(e.base.ID()) {
 			next := e.nextDecisionSubslot()
 			e.learner.Observe(m, action, RewardCCABusy, next)

@@ -165,6 +165,10 @@ type Medium struct {
 	txPool    []*transmission
 	endTXFn   func(any)
 	busyEndFn func(any)
+
+	// invariantChecks enables the opt-in runtime self-checks (busy counters
+	// must never go negative). Tests and fuzz harnesses enable them.
+	invariantChecks bool
 }
 
 // NewMedium builds a medium over the given topology. rng drives
@@ -525,8 +529,17 @@ func (m *Medium) busyAdd(id frame.NodeID, ch uint8, delta int32) {
 func (m *Medium) busyEnd(t *transmission) {
 	for _, r := range t.sensed {
 		m.busy[r][t.channel]--
+		if m.invariantChecks && m.busy[r][t.channel] < 0 {
+			panic(fmt.Sprintf("radio: busy counter of node %d channel %d went negative at %v",
+				r, t.channel, m.k.Now()))
+		}
 	}
 }
+
+// SetInvariantChecks toggles the medium's opt-in runtime self-checks
+// (currently: a channel-busy counter dropping below zero, which would mean
+// a transmission was retired twice or never registered). Off by default.
+func (m *Medium) SetInvariantChecks(on bool) { m.invariantChecks = on }
 
 // getTransmission takes a transmission from the pool, retaining its slices'
 // capacity, or allocates a fresh one.

@@ -8,8 +8,10 @@ package scenario
 
 import (
 	"fmt"
+	"time"
 
 	"qma/internal/core"
+	"qma/internal/faults"
 	"qma/internal/csma"
 	"qma/internal/frame"
 	"qma/internal/mac"
@@ -165,6 +167,18 @@ type Config struct {
 	// Dynamics configures time-varying channels and node churn (zero value:
 	// static run, byte-identical to the pre-dynamics simulator).
 	Dynamics DynamicsConfig
+	// Faults is the deterministic infrastructure fault script — sink
+	// outages, node reboots, ACK corruption, beacon loss (zero value: no
+	// faults, byte-identical to a fault-free build).
+	Faults faults.Schedule
+	// EventBudget truncates the run after this many kernel events when
+	// positive; WallBudget truncates it after this much real time. Both mark
+	// Result.Truncated. Replicated sweeps use them to bound runaway runs.
+	EventBudget uint64
+	WallBudget  time.Duration
+	// InvariantChecks enables the runtime self-checks of the kernel, the
+	// medium and the frame pool for this run (tests and fuzz harnesses).
+	InvariantChecks bool
 	// OnEvalGenerate and OnEvalDeliver observe evaluation traffic as it is
 	// generated and as it reaches the sink — the dynamics experiments use
 	// them to compute windowed PDR and post-disturbance recovery times.
@@ -233,6 +247,9 @@ type Result struct {
 	// Events is the number of kernel events the run processed — the
 	// denominator for events/second throughput reporting.
 	Events uint64
+	// Truncated reports that the run was cut short by Config.EventBudget or
+	// Config.WallBudget before reaching Duration.
+	Truncated bool
 }
 
 // NetworkPDR reports total delivered / total generated evaluation packets
@@ -352,6 +369,13 @@ func build(cfg Config) *run {
 	if cfg.CaptureThresholdDB > 0 {
 		medium.SetCaptureThreshold(cfg.CaptureThresholdDB)
 	}
+	if cfg.EventBudget > 0 || cfg.WallBudget > 0 {
+		kernel.SetBudget(cfg.EventBudget, cfg.WallBudget)
+	}
+	if cfg.InvariantChecks {
+		kernel.SetInvariantChecks(true)
+		medium.SetInvariantChecks(true)
+	}
 	if cfg.Dynamics.Enabled() {
 		armDynamics(kernel, medium, cfg.Dynamics, cfg.Seed)
 	}
@@ -373,8 +397,17 @@ func build(cfg Config) *run {
 		r.engines[i] = r.buildEngine(id)
 		medium.Attach(id, r.engines[i])
 	}
+	if cfg.InvariantChecks {
+		r.pool.SetChecks(true)
+	}
 	for i := range r.engines {
 		r.engines[i].Start()
+	}
+	if cfg.Faults.Enabled() {
+		if err := cfg.Faults.Validate(n); err != nil {
+			panic(fmt.Sprintf("scenario: %v", err))
+		}
+		armFaults(kernel, clock, r.engines, cfg.Faults)
 	}
 	if cfg.MeasureFrom > 0 {
 		kernel.At(cfg.MeasureFrom, func() {
@@ -409,6 +442,66 @@ func armDynamics(kernel *sim.Kernel, medium *radio.Medium, d DynamicsConfig, see
 	for _, mv := range d.Moves {
 		mv := mv
 		kernel.At(mv.At, func() { medium.MoveNode(mv.Node, mv.To) })
+	}
+}
+
+// armFaults schedules the deterministic fault script on the kernel. Nodes
+// are addressed through their shared mac.Base; reboots go through the
+// mac.Rebooter interface when the engine implements it (all registered
+// protocols do), falling back to wiping just the Base otherwise. Beacon
+// semantics: beacons are implicit in this simulator — every node
+// synchronizes through the shared superframe clock, with a notional beacon
+// at each superframe start — so losing beacons becomes a channel-access
+// suspension over the beacon-aligned window faults.SuspendWindow derives.
+func armFaults(kernel *sim.Kernel, clock *superframe.Clock, engines []mac.Engine, s faults.Schedule) {
+	sfd := clock.Config().SuperframeDuration()
+	for _, o := range s.Outages {
+		o := o
+		end := o.At + o.Duration
+		kernel.At(o.At, func() { engines[o.Node].Base().SetDownUntil(end) })
+		if !o.StopBeacons {
+			continue
+		}
+		// The outage node was the beacon source: every other node misses all
+		// beacons of the window and suspends channel access until resync.
+		from, until, ok := faults.SuspendWindow(sfd, o.At, o.Duration)
+		if !ok {
+			continue
+		}
+		for i := range engines {
+			if i == o.Node {
+				continue
+			}
+			b := engines[i].Base()
+			kernel.At(from, func() { b.SetDesyncUntil(until) })
+		}
+	}
+	for _, rb := range s.Reboots {
+		rb := rb
+		kernel.At(rb.At, func() {
+			if r, ok := engines[rb.Node].(mac.Rebooter); ok {
+				r.Reboot()
+			} else {
+				engines[rb.Node].Base().Reboot()
+			}
+		})
+	}
+	for _, w := range s.AckCorruption {
+		w := w
+		end := w.At + w.Duration
+		kernel.At(w.At, func() {
+			for _, e := range engines {
+				e.Base().CorruptAcksUntil(end)
+			}
+		})
+	}
+	for _, bl := range s.BeaconLoss {
+		from, until, ok := faults.SuspendWindow(sfd, bl.At, bl.Duration)
+		if !ok {
+			continue
+		}
+		b := engines[bl.Node].Base()
+		kernel.At(from, func() { b.SetDesyncUntil(until) })
 	}
 }
 
@@ -575,6 +668,7 @@ func (r *run) armSampler() {
 // collect copies the end-of-run counters into the result.
 func (r *run) collect() {
 	r.result.Events = r.kernel.Processed()
+	r.result.Truncated = r.kernel.BudgetExhausted()
 	for i, e := range r.engines {
 		node := &r.result.Nodes[i]
 		node.MAC = e.Base().Stats()

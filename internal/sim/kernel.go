@@ -1,6 +1,9 @@
 package sim
 
-import "fmt"
+import (
+	"fmt"
+	"time"
+)
 
 // EventID is a generation-counted handle to a scheduled callback, returned
 // by Kernel.Schedule, Kernel.At and Kernel.AtCall. It is a small value (not
@@ -106,6 +109,16 @@ type Kernel struct {
 	// processed counts events that actually fired (cancelled events are
 	// excluded); exposed for benchmarks and sanity checks.
 	processed uint64
+
+	// budgetEvents/budgetWall bound each Run call when positive (SetBudget);
+	// budgetHit latches that a Run stopped early on an exhausted budget.
+	budgetEvents uint64
+	budgetWall   time.Duration
+	budgetHit    bool
+
+	// invariantChecks enables the opt-in runtime self-checks (heap order on
+	// pop). Off by default: the checks are for tests and fuzzing.
+	invariantChecks bool
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty queue.
@@ -125,11 +138,41 @@ func (k *Kernel) Pending() int { return len(k.heap) }
 // Processed reports how many events have fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
+// Live reports the number of queued events that will actually fire
+// (cancelled entries awaiting compaction are excluded).
+func (k *Kernel) Live() int { return len(k.heap) - k.canceledQueued }
+
+// SetBudget bounds every subsequent Run call: after maxEvents processed
+// events (0 = unlimited) or maxWall of real time (0 = unlimited, checked
+// every 4096 events) the run stops early and BudgetExhausted reports true.
+// This is the opt-in guard for replicated sweeps — a runaway replication is
+// truncated and marked instead of hanging the whole sweep. An event budget
+// keeps truncation deterministic; a wall-clock budget does not.
+func (k *Kernel) SetBudget(maxEvents uint64, maxWall time.Duration) {
+	k.budgetEvents = maxEvents
+	k.budgetWall = maxWall
+}
+
+// BudgetExhausted reports whether any Run so far stopped early because a
+// SetBudget limit expired.
+func (k *Kernel) BudgetExhausted() bool { return k.budgetHit }
+
+// SetInvariantChecks toggles the kernel's opt-in runtime self-checks
+// (currently: popped events must never travel back in time). Tests and the
+// fuzzing harnesses enable them; production sweeps leave them off.
+func (k *Kernel) SetInvariantChecks(on bool) { k.invariantChecks = on }
+
+// ctx renders the kernel's position for panic messages, so a post-mortem
+// knows when the impossible happened and how much work was still queued.
+func (k *Kernel) ctx() string {
+	return fmt.Sprintf("now=%v processed=%d live=%d", k.now, k.processed, k.Live())
+}
+
 // Schedule enqueues fn to run after delay d (d must be >= 0) and returns a
 // cancellable handle.
 func (k *Kernel) Schedule(d Time, fn func()) EventID {
 	if d < 0 {
-		panic(fmt.Sprintf("sim: negative delay %d", d))
+		panic(fmt.Sprintf("sim: negative delay %d (%s)", d, k.ctx()))
 	}
 	return k.At(k.now+d, fn)
 }
@@ -138,7 +181,7 @@ func (k *Kernel) Schedule(d Time, fn func()) EventID {
 // returns a cancellable handle.
 func (k *Kernel) At(t Time, fn func()) EventID {
 	if fn == nil {
-		panic("sim: nil event function")
+		panic(fmt.Sprintf("sim: nil event function (%s)", k.ctx()))
 	}
 	idx, s := k.alloc(t)
 	s.fn = fn
@@ -152,7 +195,7 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 // scheduling entirely allocation-free.
 func (k *Kernel) AtCall(t Time, fn func(arg any), arg any) EventID {
 	if fn == nil {
-		panic("sim: nil event function")
+		panic(fmt.Sprintf("sim: nil event function (%s)", k.ctx()))
 	}
 	idx, s := k.alloc(t)
 	s.fnArg = fn
@@ -172,7 +215,7 @@ func (k *Kernel) AtCall(t Time, fn func(arg any), arg any) EventID {
 // AtCall.
 func (k *Kernel) AtCallEarly(t Time, fn func(arg any), arg any) EventID {
 	if fn == nil {
-		panic("sim: nil event function")
+		panic(fmt.Sprintf("sim: nil event function (%s)", k.ctx()))
 	}
 	idx, s := k.alloc(t)
 	s.fnArg = fn
@@ -187,7 +230,7 @@ func (k *Kernel) AtCallEarly(t Time, fn func(arg any), arg any) EventID {
 // only valid until the next alloc.
 func (k *Kernel) alloc(t Time) (uint32, *eventSlot) {
 	if t < k.now {
-		panic(fmt.Sprintf("sim: schedule into the past: now=%v at=%v", k.now, t))
+		panic(fmt.Sprintf("sim: schedule into the past: at=%v (%s)", t, k.ctx()))
 	}
 	k.seq++
 	var idx uint32
@@ -319,7 +362,20 @@ func (k *Kernel) Stop() { k.stopped = true }
 // before it).
 func (k *Kernel) Run(until Time) {
 	k.stopped = false
+	fired := uint64(0)
+	var wallStart time.Time
+	if k.budgetWall > 0 {
+		wallStart = time.Now()
+	}
 	for len(k.heap) > 0 && !k.stopped {
+		if k.budgetEvents > 0 && fired >= k.budgetEvents {
+			k.budgetHit = true
+			break
+		}
+		if k.budgetWall > 0 && fired&4095 == 4095 && time.Since(wallStart) > k.budgetWall {
+			k.budgetHit = true
+			break
+		}
 		idx := k.heap[0]
 		s := &k.slots[idx]
 		if s.at > until {
@@ -331,6 +387,10 @@ func (k *Kernel) Run(until Time) {
 			k.release(idx)
 			continue
 		}
+		if k.invariantChecks && s.at < k.now {
+			panic(fmt.Sprintf("sim: heap order violated: popped at=%v (%s)", s.at, k.ctx()))
+		}
+		fired++
 		// Copy out before releasing: the slot is recycled before the
 		// callback runs, so the callback may reuse it (and may grow the
 		// arena, invalidating s).

@@ -1,8 +1,10 @@
 package sim
 
 import (
+	"strings"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func TestKernelRunsInTimestampOrder(t *testing.T) {
@@ -309,6 +311,114 @@ func TestKernelPanicsOnNegativeDelay(t *testing.T) {
 		}
 	}()
 	k.Schedule(-1, func() {})
+}
+
+// TestKernelPanicMessagesCarryContext pins that scheduling-misuse panics
+// name the kernel time and live-event count — the difference between a
+// reproducible bug report and a bare "negative delay" from somewhere inside
+// a million-event run.
+func TestKernelPanicMessagesCarryContext(t *testing.T) {
+	check := func(name string, f func(k *Kernel)) {
+		k := NewKernel()
+		k.Schedule(10, func() {})
+		k.Schedule(20, func() {})
+		k.Run(15)
+		defer func() {
+			v := recover()
+			if v == nil {
+				t.Errorf("%s: no panic", name)
+				return
+			}
+			msg, ok := v.(string)
+			if !ok {
+				t.Errorf("%s: panic value %T is not a string", name, v)
+				return
+			}
+			for _, want := range []string{"now=", "processed=1", "live=1"} {
+				if !strings.Contains(msg, want) {
+					t.Errorf("%s: panic %q missing %q", name, msg, want)
+				}
+			}
+		}()
+		f(k)
+	}
+	check("negative delay", func(k *Kernel) { k.Schedule(-1, func() {}) })
+	check("nil function", func(k *Kernel) { k.Schedule(1, nil) })
+	check("past schedule", func(k *Kernel) { k.At(5, func() {}) })
+}
+
+func TestKernelLive(t *testing.T) {
+	k := NewKernel()
+	a := k.Schedule(10, func() {})
+	k.Schedule(20, func() {})
+	if got := k.Live(); got != 2 {
+		t.Fatalf("Live() = %d, want 2", got)
+	}
+	a.Cancel()
+	if got := k.Live(); got != 1 {
+		t.Fatalf("Live() after cancel = %d, want 1", got)
+	}
+}
+
+func TestKernelEventBudget(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	// A self-rescheduling chain would run 100 events without a budget.
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < 100 {
+			k.Schedule(1, tick)
+		}
+	}
+	k.Schedule(1, tick)
+	k.SetBudget(10, 0)
+	k.RunAll()
+	if fired != 10 {
+		t.Fatalf("fired %d events under a 10-event budget", fired)
+	}
+	if !k.BudgetExhausted() {
+		t.Fatal("BudgetExhausted() false after truncation")
+	}
+	// The budget latches per Run call; a fresh Run continues the chain.
+	k.RunAll()
+	if fired != 20 {
+		t.Fatalf("second Run fired up to %d, want 20", fired)
+	}
+}
+
+func TestKernelWallBudget(t *testing.T) {
+	k := NewKernel()
+	fired := 0
+	var tick func()
+	tick = func() {
+		fired++
+		if fired < 100000 {
+			k.Schedule(1, tick)
+		}
+	}
+	k.Schedule(1, tick)
+	k.SetBudget(0, time.Nanosecond)
+	k.RunAll()
+	if fired >= 100000 {
+		t.Fatal("nanosecond wall budget did not truncate")
+	}
+	if !k.BudgetExhausted() {
+		t.Fatal("BudgetExhausted() false after wall truncation")
+	}
+}
+
+func TestKernelInvariantChecksAcceptHealthyRuns(t *testing.T) {
+	k := NewKernel()
+	k.SetInvariantChecks(true)
+	n := 0
+	for i := 0; i < 500; i++ {
+		k.Schedule(Time(i%7), func() { n++ })
+	}
+	k.RunAll()
+	if n != 500 {
+		t.Fatalf("processed %d events, want 500", n)
+	}
 }
 
 // Property: for any set of non-negative delays, events fire in sorted order

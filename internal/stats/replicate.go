@@ -1,7 +1,10 @@
 package stats
 
 import (
+	"fmt"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"sync"
 	"sync/atomic"
 )
@@ -12,6 +15,37 @@ import (
 // addressed by its index, derives all randomness from its seed, and writes
 // only its own result slot; merging then walks the slots in index order, so
 // the output is byte-identical for any worker count.
+//
+// The pool is also the process's crash barrier: a panicking replication is
+// recovered, retried once (against e.g. a transient OOM kill of a goroutine
+// stack) and, if it panics again, recorded as a structured RepError instead
+// of taking down a sweep of thousands of runs. The sweep completes with the
+// surviving replications; the RepError carries the exact cell and seed
+// needed to reproduce the crash in a single-threaded run.
+
+// RepError describes one replication that panicked on both attempts. It
+// carries everything needed for a single-threaded repro: the sweep cell, the
+// seed, the recovered panic value and the stack of the final attempt.
+type RepError struct {
+	// Cell is the sweep point (always 0 for non-grid drivers).
+	Cell int
+	// Seed is the replication seed (equal to Index for non-grid drivers).
+	Seed uint64
+	// Index is the flat job index the driver dispatched.
+	Index int
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the goroutine stack captured at the final panic.
+	Stack []byte
+	// Attempts is how many times the job was tried (2: initial + one retry).
+	Attempts int
+}
+
+// Error implements error.
+func (e *RepError) Error() string {
+	return fmt.Sprintf("stats: replication cell=%d seed=%d panicked after %d attempts: %v",
+		e.Cell, e.Seed, e.Attempts, e.Value)
+}
 
 // Workers resolves a parallelism request: values <= 0 select GOMAXPROCS
 // (use all hardware threads), anything else is taken literally.
@@ -22,23 +56,59 @@ func Workers(parallel int) int {
 	return parallel
 }
 
+// runJob executes job(i) under a recover barrier with one retry. It returns
+// nil on success and a RepError (Index filled, Cell/Seed left for the caller)
+// when both attempts panicked.
+func runJob(i int, job func(i int)) *RepError {
+	var lastValue any
+	var lastStack []byte
+	attempt := func() (panicked bool) {
+		defer func() {
+			if v := recover(); v != nil {
+				panicked = true
+				lastValue = v
+				lastStack = debug.Stack()
+			}
+		}()
+		job(i)
+		return false
+	}
+	const attempts = 2
+	for a := 0; a < attempts; a++ {
+		if !attempt() {
+			return nil
+		}
+	}
+	return &RepError{Index: i, Value: lastValue, Stack: lastStack, Attempts: attempts}
+}
+
 // ForEach runs job(0..n-1) on up to Workers(parallel) goroutines and waits
 // for all of them. Jobs must be independent and must confine their writes to
 // per-index state. With one worker (or n == 1) it degrades to a plain loop
 // on the calling goroutine.
-func ForEach(n, parallel int, job func(i int)) {
+//
+// A job that panics is retried once and, failing again, reported in the
+// returned slice (ordered by job index) instead of crashing the pool; its
+// result slot is simply never written. A nil return means every job
+// completed.
+func ForEach(n, parallel int, job func(i int)) []*RepError {
 	workers := Workers(parallel)
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
+		var errs []*RepError
 		for i := 0; i < n; i++ {
-			job(i)
+			if re := runJob(i, job); re != nil {
+				errs = append(errs, re)
+			}
 		}
-		return
+		return errs
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var errs []*RepError
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
@@ -48,29 +118,44 @@ func ForEach(n, parallel int, job func(i int)) {
 				if i >= n {
 					return
 				}
-				job(i)
+				if re := runJob(i, job); re != nil {
+					mu.Lock()
+					errs = append(errs, re)
+					mu.Unlock()
+				}
 			}
 		}()
 	}
 	wg.Wait()
+	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
+	return errs
 }
 
 // Replicate runs fn for seeds 0..n-1, each invocation independent, sharded
 // over the worker pool, and returns the per-seed results in seed order.
 // Every figure of the evaluation aggregates such replications; determinism
-// comes from fn deriving all randomness from the seed.
-func Replicate(n, parallel int, fn func(seed uint64) float64) []float64 {
+// comes from fn deriving all randomness from the seed. A replication that
+// panicked twice leaves zero in its slot and is reported in the error slice.
+func Replicate(n, parallel int, fn func(seed uint64) float64) ([]float64, []*RepError) {
 	out := make([]float64, n)
-	ForEach(n, parallel, func(i int) { out[i] = fn(uint64(i)) })
-	return out
+	errs := ForEach(n, parallel, func(i int) { out[i] = fn(uint64(i)) })
+	for _, e := range errs {
+		e.Seed = uint64(e.Index)
+	}
+	return out, errs
 }
 
 // ReplicateMany is Replicate for functions returning several named metrics;
-// it returns one Estimate per metric name, accumulated in seed order.
-func ReplicateMany(n, parallel int, fn func(seed uint64) map[string]float64) map[string]Estimate {
+// it returns one Estimate per metric name, accumulated in seed order. Failed
+// replications contribute nothing — each Estimate's N reports how many
+// replications actually survived.
+func ReplicateMany(n, parallel int, fn func(seed uint64) map[string]float64) (map[string]Estimate, []*RepError) {
 	results := make([]map[string]float64, n)
-	ForEach(n, parallel, func(i int) { results[i] = fn(uint64(i)) })
-	return mergeRuns(results)
+	errs := ForEach(n, parallel, func(i int) { results[i] = fn(uint64(i)) })
+	for _, e := range errs {
+		e.Seed = uint64(e.Index)
+	}
+	return mergeRuns(results), errs
 }
 
 // ReplicateGrid shards a whole sweep — cells independent experiment points,
@@ -79,20 +164,32 @@ func ReplicateMany(n, parallel int, fn func(seed uint64) map[string]float64) map
 // 3 replications per point, far fewer than a modern machine has cores).
 // fn(cell, seed) must be independent across all (cell, seed) pairs; the
 // result is one Estimate per metric name per cell, merged in seed order.
-func ReplicateGrid(cells, reps, parallel int, fn func(cell int, seed uint64) map[string]float64) []map[string]Estimate {
+//
+// A replication that panicked twice is excluded from its cell's merge (the
+// cell's Estimates simply average one fewer run) and reported in the error
+// slice with its exact cell and seed, so the sweep of every other point
+// completes and the crash stays reproducible single-threaded.
+func ReplicateGrid(cells, reps, parallel int, fn func(cell int, seed uint64) map[string]float64) ([]map[string]Estimate, []*RepError) {
 	results := make([]map[string]float64, cells*reps)
-	ForEach(cells*reps, parallel, func(i int) {
+	errs := ForEach(cells*reps, parallel, func(i int) {
 		results[i] = fn(i/reps, uint64(i%reps))
 	})
+	for _, e := range errs {
+		e.Cell = e.Index / reps
+		e.Seed = uint64(e.Index % reps)
+	}
 	out := make([]map[string]Estimate, cells)
 	for c := 0; c < cells; c++ {
 		out[c] = mergeRuns(results[c*reps : (c+1)*reps])
 	}
-	return out
+	return out, errs
 }
 
 // mergeRuns folds per-replication metric maps into Estimates, visiting the
 // replications in slice (seed) order so the accumulation is deterministic.
+// Nil entries (failed replications) are skipped: iterating a nil map yields
+// nothing, so a lost run lowers every Estimate's N by one instead of
+// poisoning the merge.
 func mergeRuns(results []map[string]float64) map[string]Estimate {
 	acc := make(map[string]*Running)
 	for _, m := range results {

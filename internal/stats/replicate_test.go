@@ -30,7 +30,10 @@ func TestForEachEmptyAndSingle(t *testing.T) {
 }
 
 func TestReplicateSeedOrder(t *testing.T) {
-	got := Replicate(8, 3, func(seed uint64) float64 { return float64(seed * seed) })
+	got, errs := Replicate(8, 3, func(seed uint64) float64 { return float64(seed * seed) })
+	if len(errs) != 0 {
+		t.Fatalf("unexpected replication errors: %v", errs)
+	}
 	for i, v := range got {
 		if v != float64(i*i) {
 			t.Fatalf("result[%d] = %v, want %d", i, v, i*i)
@@ -45,9 +48,9 @@ func TestReplicateManyDeterministicAcrossParallelism(t *testing.T) {
 			"b": float64(seed) / 7,
 		}
 	}
-	want := ReplicateMany(13, 1, fn)
+	want, _ := ReplicateMany(13, 1, fn)
 	for _, parallel := range []int{2, 5, 0} {
-		got := ReplicateMany(13, parallel, fn)
+		got, _ := ReplicateMany(13, parallel, fn)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("parallel=%d: estimates differ: %v vs %v", parallel, got, want)
 		}
@@ -58,9 +61,9 @@ func TestReplicateGridDeterministicAcrossParallelism(t *testing.T) {
 	fn := func(cell int, seed uint64) map[string]float64 {
 		return map[string]float64{"v": float64(cell)*100 + math.Cos(float64(seed))}
 	}
-	want := ReplicateGrid(5, 4, 1, fn)
+	want, _ := ReplicateGrid(5, 4, 1, fn)
 	for _, parallel := range []int{3, 16, 0} {
-		got := ReplicateGrid(5, 4, parallel, fn)
+		got, _ := ReplicateGrid(5, 4, parallel, fn)
 		if !reflect.DeepEqual(got, want) {
 			t.Fatalf("parallel=%d: grid estimates differ", parallel)
 		}
@@ -73,6 +76,92 @@ func TestReplicateGridDeterministicAcrossParallelism(t *testing.T) {
 		}
 		if est["v"] != r.Estimate() {
 			t.Fatalf("cell %d merged out of seed order: %v vs %v", c, est["v"], r.Estimate())
+		}
+	}
+}
+
+// TestReplicateGridSurvivesPanickingReplication pins the hardened-pool
+// contract: one replication panicking on both attempts must not kill the
+// sweep — the other 99 replications merge normally and the failure comes
+// back as one structured RepError naming the exact cell and seed for a
+// single-threaded repro.
+func TestReplicateGridSurvivesPanickingReplication(t *testing.T) {
+	const cells, reps = 10, 10
+	for _, parallel := range []int{1, 4, 0} {
+		est, errs := ReplicateGrid(cells, reps, parallel, func(cell int, seed uint64) map[string]float64 {
+			if cell == 7 && seed == 3 {
+				panic("protocol stub exploded")
+			}
+			return map[string]float64{"v": 1}
+		})
+		if len(errs) != 1 {
+			t.Fatalf("parallel=%d: got %d errors, want 1", parallel, len(errs))
+		}
+		e := errs[0]
+		if e.Cell != 7 || e.Seed != 3 || e.Index != 73 || e.Attempts != 2 {
+			t.Fatalf("parallel=%d: RepError = %+v, want cell=7 seed=3 index=73 attempts=2", parallel, e)
+		}
+		if e.Value != "protocol stub exploded" || len(e.Stack) == 0 {
+			t.Fatalf("parallel=%d: RepError missing panic value or stack: %+v", parallel, e)
+		}
+		if e.Error() == "" {
+			t.Fatal("RepError.Error() empty")
+		}
+		// The failed cell degrades to reps-1 merged runs; all others are whole.
+		for c := 0; c < cells; c++ {
+			wantN := reps
+			if c == 7 {
+				wantN = reps - 1
+			}
+			if got := est[c]["v"].N; got != wantN {
+				t.Fatalf("parallel=%d: cell %d merged %d runs, want %d", parallel, c, got, wantN)
+			}
+		}
+	}
+}
+
+// TestForEachRetriesTransientPanic pins the one-retry policy: a job that
+// panics once and then succeeds is not reported as failed.
+func TestForEachRetriesTransientPanic(t *testing.T) {
+	var firstTry [4]atomic.Bool
+	hits := [4]int32{}
+	errs := ForEach(4, 2, func(i int) {
+		if i == 2 && !firstTry[i].Swap(true) {
+			panic("transient")
+		}
+		atomic.AddInt32(&hits[i], 1)
+	})
+	if len(errs) != 0 {
+		t.Fatalf("transient panic reported as failure: %v", errs)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d completed %d times, want 1", i, h)
+		}
+	}
+}
+
+// TestForEachReportsErrorsInIndexOrder pins the ordering contract under
+// concurrency.
+func TestForEachReportsErrorsInIndexOrder(t *testing.T) {
+	errs := ForEach(50, 8, func(i int) {
+		if i%7 == 0 {
+			panic(i)
+		}
+	})
+	var want []int
+	for i := 0; i < 50; i += 7 {
+		want = append(want, i)
+	}
+	if len(errs) != len(want) {
+		t.Fatalf("got %d errors, want %d", len(errs), len(want))
+	}
+	for k, e := range errs {
+		if e.Index != want[k] {
+			t.Fatalf("errs[%d].Index = %d, want %d", k, e.Index, want[k])
+		}
+		if e.Value != want[k] {
+			t.Fatalf("errs[%d].Value = %v, want %d", k, e.Value, want[k])
 		}
 	}
 }

@@ -140,7 +140,7 @@ func TestSeriesQuantile(t *testing.T) {
 }
 
 func TestReplicateOrderAndParallelism(t *testing.T) {
-	out := Replicate(8, 3, func(seed uint64) float64 { return float64(seed * seed) })
+	out, _ := Replicate(8, 3, func(seed uint64) float64 { return float64(seed * seed) })
 	for i, v := range out {
 		if v != float64(i*i) {
 			t.Fatalf("out[%d] = %v", i, v)
@@ -149,7 +149,7 @@ func TestReplicateOrderAndParallelism(t *testing.T) {
 }
 
 func TestReplicateMany(t *testing.T) {
-	est := ReplicateMany(4, 0, func(seed uint64) map[string]float64 {
+	est, _ := ReplicateMany(4, 0, func(seed uint64) map[string]float64 {
 		return map[string]float64{"a": float64(seed), "b": 2}
 	})
 	if est["a"].Mean != 1.5 || est["a"].N != 4 {

@@ -28,6 +28,7 @@ import (
 	"qma/internal/bandit"
 	"qma/internal/core"
 	"qma/internal/csma"
+	"qma/internal/faults"
 	"qma/internal/frame"
 	"qma/internal/mac"
 	"qma/internal/noma"
@@ -272,6 +273,9 @@ type Scenario struct {
 	MeasureFromSeconds float64
 	// Dynamics enables time-varying channels and node churn (nil = static).
 	Dynamics *Dynamics
+	// Faults enables deterministic infrastructure faults — sink outages,
+	// node reboots, ACK corruption, beacon loss (nil = fault-free).
+	Faults *Faults
 }
 
 // GilbertElliott parameterizes the per-link two-state burst-error channel
@@ -321,6 +325,51 @@ type Dynamics struct {
 	Fades []Fade
 	Churn []Churn
 	Moves []Move
+}
+
+// Outage takes one node completely off the network for the window: it
+// neither receives nor acknowledges and its transmissions never reach the
+// air. With StopBeacons the node is treated as the beacon source, so every
+// other node additionally loses superframe synchronization for the
+// beacon-aligned part of the window and suspends channel access.
+type Outage struct {
+	Node                  int
+	AtSeconds, ForSeconds float64
+	StopBeacons           bool
+}
+
+// RebootEvent power-cycles one node: volatile MAC and learning state
+// (Q-tables, backoff, bandit estimates, queue, neighbour table) is wiped and
+// the node re-enters its cautious startup phase.
+type RebootEvent struct {
+	Node      int
+	AtSeconds float64
+}
+
+// AckCorruption corrupts every acknowledgement frame on the air during the
+// window: data still gets through but transmitters see timeouts and retry —
+// the classic asymmetric-failure mode.
+type AckCorruption struct {
+	AtSeconds, ForSeconds float64
+}
+
+// BeaconLoss makes one node miss every beacon inside the window while the
+// rest of the network stays synchronized; the node suspends channel access
+// until it hears a beacon again.
+type BeaconLoss struct {
+	Node                  int
+	AtSeconds, ForSeconds float64
+}
+
+// Faults is a deterministic fault script (paper's robustness regime: what
+// does a learned schedule cost when infrastructure fails?). A nil (or
+// zero-valued) Faults leaves the simulator on its fault-free code paths,
+// with results byte-identical to runs predating the fault subsystem.
+type Faults struct {
+	Outages       []Outage
+	Reboots       []RebootEvent
+	AckCorruption []AckCorruption
+	BeaconLoss    []BeaconLoss
 }
 
 // Point is one time series sample (seconds, value).
@@ -411,7 +460,10 @@ func (s *Scenario) Validate() error {
 	if _, err := s.Explorer.internal(); err != nil {
 		return err
 	}
-	return s.validateDynamics()
+	if err := s.validateDynamics(); err != nil {
+		return err
+	}
+	return s.validateFaults()
 }
 
 // validateDynamics checks the Dynamics block against the topology.
@@ -464,6 +516,49 @@ func (s *Scenario) validateDynamics() error {
 		}
 	}
 	return nil
+}
+
+// validateFaults checks the Faults block against the topology by converting
+// to the internal schedule and running its own validator, so the public and
+// scenario layers can never drift apart on what counts as a legal script.
+func (s *Scenario) validateFaults() error {
+	f := s.Faults
+	if f == nil {
+		return nil
+	}
+	sched := f.internal()
+	if err := sched.Validate(s.Topology.net.NumNodes()); err != nil {
+		return fmt.Errorf("qma: %w", err)
+	}
+	return nil
+}
+
+// internal converts the public faults block to the internal schedule.
+func (f *Faults) internal() faults.Schedule {
+	if f == nil {
+		return faults.Schedule{}
+	}
+	var out faults.Schedule
+	for _, o := range f.Outages {
+		out.Outages = append(out.Outages, faults.Outage{
+			Node: o.Node, At: sim.FromSeconds(o.AtSeconds),
+			Duration: sim.FromSeconds(o.ForSeconds), StopBeacons: o.StopBeacons,
+		})
+	}
+	for _, r := range f.Reboots {
+		out.Reboots = append(out.Reboots, faults.Reboot{Node: r.Node, At: sim.FromSeconds(r.AtSeconds)})
+	}
+	for _, w := range f.AckCorruption {
+		out.AckCorruption = append(out.AckCorruption, faults.Window{
+			At: sim.FromSeconds(w.AtSeconds), Duration: sim.FromSeconds(w.ForSeconds),
+		})
+	}
+	for _, b := range f.BeaconLoss {
+		out.BeaconLoss = append(out.BeaconLoss, faults.BeaconLoss{
+			Node: b.Node, At: sim.FromSeconds(b.AtSeconds), Duration: sim.FromSeconds(b.ForSeconds),
+		})
+	}
+	return out
 }
 
 // internal converts the public dynamics block to the scenario layer's form.
@@ -563,6 +658,7 @@ func (s *Scenario) Run() (*Result, error) {
 		Duration:           sim.FromSeconds(s.DurationSeconds),
 		MeasureFrom:        sim.FromSeconds(s.MeasureFromSeconds),
 		Dynamics:           s.Dynamics.internal(),
+		Faults:             s.Faults.internal(),
 	}
 	if s.SampleSeries {
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe

@@ -70,6 +70,33 @@ func TestScenarioValidateErrorPaths(t *testing.T) {
 		{"moves on a graph topology", func(s *qma.Scenario) {
 			s.Dynamics = &qma.Dynamics{Moves: []qma.Move{{Node: 0, AtSeconds: 1, X: 5, Y: 5}}}
 		}, "position-based topology"},
+		{"outage node range", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{Outages: []qma.Outage{{Node: 7, AtSeconds: 1, ForSeconds: 1}}}
+		}, "out of range"},
+		{"outage negative start", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{Outages: []qma.Outage{{Node: 1, AtSeconds: -1, ForSeconds: 1}}}
+		}, "negative start"},
+		{"outage without duration", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{Outages: []qma.Outage{{Node: 1, AtSeconds: 1}}}
+		}, "must be positive"},
+		{"reboot node range", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{Reboots: []qma.RebootEvent{{Node: -1, AtSeconds: 1}}}
+		}, "out of range"},
+		{"reboot negative instant", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{Reboots: []qma.RebootEvent{{Node: 0, AtSeconds: -2}}}
+		}, "negative instant"},
+		{"ack corruption negative start", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{AckCorruption: []qma.AckCorruption{{AtSeconds: -1, ForSeconds: 1}}}
+		}, "negative start"},
+		{"ack corruption without duration", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{AckCorruption: []qma.AckCorruption{{AtSeconds: 1}}}
+		}, "must be positive"},
+		{"beacon loss node range", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{BeaconLoss: []qma.BeaconLoss{{Node: 3, AtSeconds: 1, ForSeconds: 1}}}
+		}, "out of range"},
+		{"beacon loss without duration", func(s *qma.Scenario) {
+			s.Faults = &qma.Faults{BeaconLoss: []qma.BeaconLoss{{Node: 1, AtSeconds: 1}}}
+		}, "must be positive"},
 	}
 	for _, tc := range cases {
 		sc := base()
@@ -121,6 +148,14 @@ func TestScenarioValidateAccepts(t *testing.T) {
 			}},
 		{Topology: qma.Star17(), DurationSeconds: 1,
 			Dynamics: &qma.Dynamics{Moves: []qma.Move{{Node: 3, AtSeconds: 0.5, X: 1, Y: -2}}}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1, Faults: &qma.Faults{}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1,
+			Faults: &qma.Faults{
+				Outages:       []qma.Outage{{Node: 1, AtSeconds: 2, ForSeconds: 3, StopBeacons: true}},
+				Reboots:       []qma.RebootEvent{{Node: 0, AtSeconds: 5}},
+				AckCorruption: []qma.AckCorruption{{AtSeconds: 1, ForSeconds: 2}},
+				BeaconLoss:    []qma.BeaconLoss{{Node: 2, AtSeconds: 4, ForSeconds: 1}},
+			}},
 	}
 	for i, sc := range ok {
 		if err := sc.Validate(); err != nil {
@@ -153,6 +188,85 @@ func TestZeroDynamicsIsByteIdentical(t *testing.T) {
 	zero := run(&qma.Dynamics{})
 	if !reflect.DeepEqual(static, zero) {
 		t.Fatal("a zero-valued Dynamics block changed the run's results")
+	}
+}
+
+// TestZeroFaultsIsByteIdentical pins the same guarantee for the fault
+// subsystem: attaching an empty Faults block changes nothing about a run.
+func TestZeroFaultsIsByteIdentical(t *testing.T) {
+	run := func(f *qma.Faults) *qma.Result {
+		sc := &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 30,
+			Seed:            7,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+			},
+			Faults: f,
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	zero := run(&qma.Faults{})
+	if !reflect.DeepEqual(clean, zero) {
+		t.Fatal("a zero-valued Faults block changed the run's results")
+	}
+}
+
+// TestFaultsEndToEnd drives every fault mechanism together through the
+// public API: the disturbances must bite (PDR drops versus the fault-free
+// run) and identical fault scripts must replay byte-identically.
+func TestFaultsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	build := func(f *qma.Faults) *qma.Scenario {
+		sc := &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 60,
+			Seed:            3,
+			Faults:          f,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+			},
+		}
+		return sc
+	}
+	script := func() *qma.Faults {
+		return &qma.Faults{
+			Outages:       []qma.Outage{{Node: 1, AtSeconds: 20, ForSeconds: 5, StopBeacons: true}},
+			Reboots:       []qma.RebootEvent{{Node: 0, AtSeconds: 35}},
+			AckCorruption: []qma.AckCorruption{{AtSeconds: 45, ForSeconds: 2}},
+			BeaconLoss:    []qma.BeaconLoss{{Node: 2, AtSeconds: 50, ForSeconds: 1}},
+		}
+	}
+	clean, err := build(nil).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := build(script()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.NetworkPDR >= clean.NetworkPDR {
+		t.Errorf("faults did not reduce PDR: clean %.3f, faulty %.3f",
+			clean.NetworkPDR, faulty.NetworkPDR)
+	}
+	if faulty.NetworkPDR <= 0.1 {
+		t.Errorf("faulty PDR %.3f implausibly low — the script broke the run", faulty.NetworkPDR)
+	}
+	again, err := build(script()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(faulty, again) {
+		t.Error("identical fault scripts produced different results")
 	}
 }
 
