@@ -54,6 +54,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.Var(&flt.reboots, "fault-reboot", "node reboot (wipes learning state) as NODE@AT in seconds, repeatable")
 	fs.Var(&flt.ackCorrupt, "fault-ack-corrupt", "global ACK-corruption window as AT+DUR in seconds, repeatable")
 	fs.Var(&flt.beaconLoss, "fault-beacon-loss", "per-node beacon loss as NODE@AT+DUR in seconds, repeatable")
+	loadMult := fs.Float64("load-mult", 1, "offered-load multiplier applied to -delta (overload experiments)")
+	barringPolicy := fs.String("barring", "", "sink-side access-class barring policy: fixed | aimd | pid (empty = off)")
+	barringP := fs.Float64("barring-p", 0, "barring factor for -barring fixed / initial factor for the adaptive policies (0 = fully open)")
+	barringTarget := fs.Float64("barring-target", 0, "collision-ratio setpoint for -barring aimd/pid (0 = 0.1)")
+	barringInterval := fs.Float64("barring-interval", 0, "barring beacon/observation interval in seconds (0 = one superframe)")
+	barringBackoff := fs.Float64("barring-backoff", 0, "base wait of a barred node before redrawing, in seconds (0 = one superframe)")
+	dropPolicy := fs.String("drop-policy", "", "full-queue backpressure policy: tail (default) | oldest | deadline")
+	dropDeadline := fs.Float64("drop-deadline", 0, "queue-residence deadline in seconds for -drop-policy deadline (0 = 16 superframes)")
 	if err := fs.Parse(args); err != nil {
 		return 2 // the FlagSet already printed the offending flag to stderr
 	}
@@ -74,12 +82,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if flt.enabled() && (*scale > 0 || *useDSME) {
 		return fail(fmt.Errorf("-fault-* flags are only supported on the plain contention path (not -scale or -dsme)"))
 	}
+	if (*barringPolicy != "" || *dropPolicy != "") && (*scale > 0 || *useDSME) {
+		return fail(fmt.Errorf("-barring/-drop-policy are only supported on the plain contention path (not -scale or -dsme)"))
+	}
+	if *loadMult <= 0 {
+		return fail(fmt.Errorf("-load-mult %g must be positive", *loadMult))
+	}
+	rate := *delta * *loadMult
 
 	if *scale > 0 {
 		if *warmup >= *duration {
 			return fail(fmt.Errorf("-warmup %g must be below -duration %g (no time left to measure)", *warmup, *duration))
 		}
-		return runScale(stdout, stderr, *scale, *degree, mk, macOpts.kv, *captureDB, *delta, *duration, *warmup, *seed)
+		return runScale(stdout, stderr, *scale, *degree, mk, macOpts.kv, *captureDB, rate, *duration, *warmup, *seed)
 	}
 
 	topo, err := parseTopology(*topology)
@@ -146,13 +161,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "faults: %d outage(s), %d reboot(s), %d ACK-corruption window(s), %d beacon-loss window(s)\n",
 			len(sc.Faults.Outages), len(sc.Faults.Reboots), len(sc.Faults.AckCorruption), len(sc.Faults.BeaconLoss))
 	}
+	if *barringPolicy != "" {
+		sc.Barring = &qma.Barring{
+			Policy:          *barringPolicy,
+			P:               *barringP,
+			Target:          *barringTarget,
+			IntervalSeconds: *barringInterval,
+			BackoffSeconds:  *barringBackoff,
+		}
+		fmt.Fprintf(stdout, "barring: %s controller\n", *barringPolicy)
+	}
+	sc.DropPolicy = *dropPolicy
+	sc.DropDeadlineSeconds = *dropDeadline
+	if *loadMult != 1 {
+		fmt.Fprintf(stdout, "offered load: %g pkt/s per source (%gx)\n", rate, *loadMult)
+	}
 	for i := 0; i < topo.NumNodes(); i++ {
 		if i == sink {
 			continue
 		}
 		sc.Traffic = append(sc.Traffic,
 			qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: 0.2}}, StartSeconds: 1, Management: true},
-			qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: *delta}}, StartSeconds: *warmup},
+			qma.Traffic{Origin: i, Phases: []qma.Phase{{Rate: rate}}, StartSeconds: *warmup},
 		)
 	}
 	res, err := sc.Run()
@@ -160,6 +190,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
+	if sc.Barring != nil {
+		var barred, deadline uint64
+		for _, n := range res.Nodes {
+			barred += n.Barred
+			deadline += n.DeadlineDrops
+		}
+		fmt.Fprintf(stdout, "barred attempts %d   deadline drops %d\n", barred, deadline)
+	}
 	fmt.Fprintf(stdout, "network PDR  %.3f   mean delay %.3fs\n\n", res.NetworkPDR, res.MeanDelaySeconds)
 	fmt.Fprintf(stdout, "%-6s %-5s %-9s %-9s %-7s %-8s %s\n", "node", "pdr", "delay[s]", "queue", "tx", "drops", "policy")
 	for _, n := range res.Nodes {

@@ -166,6 +166,16 @@ func (e *Engine) kick() {
 	if e.inTransaction || e.base.Queue().Empty() {
 		return
 	}
+	if barred, retryAt := e.base.AccessBarred(); barred {
+		// Access-class barring: hold the transaction slot and retry once the
+		// barring backoff has passed (a fresh Bernoulli draw happens then).
+		e.inTransaction = true
+		e.at(retryAt, func() {
+			e.inTransaction = false
+			e.kick()
+		})
+		return
+	}
 	e.inTransaction = true
 	f := e.base.Queue().Head()
 	if e.cfg.Variant == Slotted {

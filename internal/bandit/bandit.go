@@ -202,6 +202,16 @@ func (e *Engine) kick() {
 	if e.pulling || e.base.Queue().Empty() {
 		return
 	}
+	if barred, retryAt := e.base.AccessBarred(); barred {
+		// Access-class barring: hold the pull and retry once the barring
+		// backoff has passed (a fresh Bernoulli draw happens then).
+		e.pulling = true
+		e.at(retryAt, func() {
+			e.pulling = false
+			e.kick()
+		})
+		return
+	}
 	e.pulling = true
 	m := e.pick()
 	e.at(e.nextSlotStart(m), func() { e.fire(m) })

@@ -261,7 +261,13 @@ func (e *Engine) tick() {
 		// "If no more packets are available for transmission, no action is
 		// selected" (§6.1.3).
 	default:
-		e.decide(m)
+		// Access-class barring gates every fresh channel-access decision: a
+		// barred node sits the subslot out, the ticker keeps polling (free
+		// while the barring backoff runs) and a fresh Bernoulli draw happens
+		// once it has passed.
+		if barred, _ := e.base.AccessBarred(); !barred {
+			e.decide(m)
+		}
 	}
 	e.armIfNeeded()
 }

@@ -149,6 +149,18 @@ func (e *Engine) kick() {
 	if e.inTransaction || e.base.Queue().Empty() {
 		return
 	}
+	if barred, retryAt := e.base.AccessBarred(); barred {
+		// Access-class barring: hold the transaction slot and retry once the
+		// barring backoff has passed (a fresh Bernoulli draw happens then).
+		// The reboot-epoch guard in at() keeps a power cycle from re-kicking
+		// into a flushed queue.
+		e.inTransaction = true
+		e.at(retryAt, func() {
+			e.inTransaction = false
+			e.kick()
+		})
+		return
+	}
 	e.inTransaction = true
 	e.beginTransaction()
 }

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"qma/internal/barring"
 	"qma/internal/scenario"
 	"qma/internal/sim"
 	"qma/internal/superframe"
@@ -204,5 +205,45 @@ func TestScenarioBudgetAndInvariantChecks(t *testing.T) {
 	clean.InvariantChecks = true
 	if res := RunScenario(clean); res.Truncated {
 		t.Error("unbudgeted run reports truncation")
+	}
+}
+
+// TestScenarioBarring drives the DSME wiring of the access-barring loop.
+// DSME carries its primary data over GTS, so the CAP rarely congests enough
+// for AIMD to close admission — a fixed low factor instead exercises the
+// full path (sink beacon push → per-node gate RNG → Barred counters)
+// deterministically, and a disabled config must count nothing.
+func TestScenarioBarring(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	overloaded := func(b barring.Config, seed uint64) ScenarioConfig {
+		cfg := twoNodeConfig(scenario.QMA, seed)
+		cfg.Duration = 90 * sim.Second
+		cfg.Warmup = 30 * sim.Second
+		cfg.Phases = []traffic.Phase{{Rate: 20}}
+		cfg.Barring = b
+		return cfg
+	}
+	barred := RunScenario(overloaded(barring.Config{Policy: barring.PolicyFixed, P: 0.25}, 4))
+	var total uint64
+	for _, s := range barred.CAP {
+		total += s.Barred
+	}
+	if total == 0 {
+		t.Error("fixed barring at P=0.25 never barred a CAP attempt")
+	}
+	again := RunScenario(overloaded(barring.Config{Policy: barring.PolicyFixed, P: 0.25}, 4))
+	for i := range barred.CAP {
+		if barred.CAP[i] != again.CAP[i] {
+			t.Errorf("node %d: identical barred DSME runs diverged:\n%+v\n%+v", i, barred.CAP[i], again.CAP[i])
+		}
+	}
+	// A disabled config counts nothing: the gate is never consulted.
+	off := RunScenario(overloaded(barring.Config{}, 4))
+	for i, s := range off.CAP {
+		if s.Barred != 0 {
+			t.Errorf("node %d: disabled barring still barred %d attempts", i, s.Barred)
+		}
 	}
 }

@@ -1,8 +1,10 @@
 package dsme
 
 import (
+	"fmt"
 	"time"
 
+	"qma/internal/barring"
 	"qma/internal/frame"
 	"qma/internal/mac"
 	"qma/internal/radio"
@@ -45,6 +47,12 @@ type ScenarioConfig struct {
 	BroadcastPeriod sim.Time
 	// MaxTxSlots caps the GTS a node may hold (0 selects the CFP width).
 	MaxTxSlots int
+	// Barring configures sink-side load-adaptive access-class barring for
+	// the CAP engines: the barring factor rides the (here: explicit DSME)
+	// beacon each beacon interval, and the nodes gate fresh CAP
+	// channel-access attempts on it. The zero value disables barring —
+	// byte-identical to a pre-barring build.
+	Barring barring.Config
 	// EventBudget truncates the run after this many kernel events when
 	// positive; WallBudget truncates it after this much real time. Both mark
 	// ScenarioResult.Truncated, like scenario.Config's fields of the same
@@ -123,13 +131,21 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 			Metrics:    metrics,
 			FramePool:  pool,
 		})
+		// Like internal/scenario, the barring RNG stream (4000+id) only
+		// exists when barring is configured, keeping zero-valued configs
+		// byte-identical.
+		var barringRng *sim.Rand
+		if cfg.Barring.Enabled() {
+			barringRng = sim.NewRandStream(cfg.Seed, 4000+uint64(i))
+		}
 		engine := scenario.BuildEngine(cfg.MAC, scenario.DefaultQMAOptions(cfg.MAC, cfg.QMA), mac.Config{
-			ID:        id,
-			Kernel:    kernel,
-			Medium:    medium,
-			Clock:     clock,
-			OnCommand: node.CommandHook(),
-			FramePool: pool,
+			ID:         id,
+			Kernel:     kernel,
+			Medium:     medium,
+			Clock:      clock,
+			OnCommand:  node.CommandHook(),
+			FramePool:  pool,
+			BarringRng: barringRng,
 		}, sim.NewRandStream(cfg.Seed, uint64(i)))
 		node.AttachCAP(engine)
 		nodes[i] = node
@@ -137,6 +153,46 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 	}
 	for _, node := range nodes {
 		node.Start()
+	}
+
+	if cfg.Barring.Enabled() {
+		if err := cfg.Barring.Validate(); err != nil {
+			panic(fmt.Sprintf("dsme: %v", err))
+		}
+		// The barring factor rides the beacon: once per beacon interval the
+		// sink folds the congestion it observed on the medium into the
+		// controller and the nodes pick the new factor up with the beacon.
+		sfd := clock.Config().SuperframeDuration()
+		interval := cfg.Barring.Interval
+		if interval <= 0 {
+			interval = sfd
+		}
+		backoff := cfg.Barring.Backoff
+		if backoff <= 0 {
+			backoff = sfd
+		}
+		ctrl := barring.New(cfg.Barring)
+		sink := cfg.Network.Sink
+		var prev radio.NodeStats
+		var prevAir sim.Time
+		var tick func()
+		tick = func() {
+			cur := medium.Stats(sink)
+			_, air := medium.ChannelLoad()
+			obs := barring.Observation{
+				Delivered:    cur.RxDelivered - prev.RxDelivered,
+				Collided:     cur.RxCollided - prev.RxCollided,
+				Captured:     cur.RxCaptured - prev.RxCaptured,
+				BusyFraction: float64(air-prevAir) / float64(interval),
+			}
+			prev, prevAir = cur, air
+			p := ctrl.Update(obs)
+			for _, node := range nodes {
+				node.CAP().Base().SetBarring(p, backoff)
+			}
+			kernel.Schedule(interval, tick)
+		}
+		kernel.Schedule(interval, tick)
 	}
 
 	// Secondary background traffic: periodic route-discovery broadcasts.

@@ -29,9 +29,14 @@ func init() {
 const dynBucketWidth = 2 * sim.Second
 
 // dynTrace accumulates the per-bucket generated/delivered counts of one run
-// through the scenario's OnEvalGenerate/OnEvalDeliver hooks.
+// through the scenario's OnEvalGenerate/OnEvalDeliver hooks, plus the raw
+// end-to-end delay of every delivered evaluation packet for percentile
+// reporting (p50/p95/p99 in the faults and overload tables). The hooks are
+// purely observational — they draw no randomness and schedule no events —
+// so attaching a trace never perturbs the simulation.
 type dynTrace struct {
 	gen, del []float64
+	delay    stats.Sample
 }
 
 func newDynTrace(duration sim.Time) *dynTrace {
@@ -59,7 +64,20 @@ func (d *dynTrace) pdr(b int) float64 {
 // hooks returns the scenario callbacks filling the trace.
 func (d *dynTrace) hooks() (func(frame.NodeID, sim.Time), func(frame.NodeID, sim.Time, sim.Time)) {
 	return func(_ frame.NodeID, at sim.Time) { d.gen[d.bucket(at)]++ },
-		func(_ frame.NodeID, createdAt, _ sim.Time) { d.del[d.bucket(createdAt)]++ }
+		func(_ frame.NodeID, createdAt, at sim.Time) {
+			d.del[d.bucket(createdAt)]++
+			d.delay.Add((at - createdAt).Seconds())
+		}
+}
+
+// delayQuantile reports the q-quantile of the delivered packets' end-to-end
+// delays in seconds (0 when nothing was delivered, keeping aggregation
+// NaN-free).
+func (d *dynTrace) delayQuantile(q float64) float64 {
+	if d.delay.N() == 0 {
+		return 0
+	}
+	return d.delay.Quantile(q)
 }
 
 // disturbanceMetrics condenses one run into the family's four headline

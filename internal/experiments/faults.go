@@ -94,6 +94,7 @@ func sinkOutageCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]floa
 	return map[string]float64{
 		"baseline": m.baseline, "outagePdr": trace.windowPDR(at, at+dur),
 		"lost": m.lost, "recovery": m.recovery, "suppressed": suppressed,
+		"delayP95": trace.delayQuantile(0.95), "delayP99": trace.delayQuantile(0.99),
 	}
 }
 
@@ -150,7 +151,7 @@ func RunFaults(mode Mode) []*Table {
 	outage := &Table{
 		ID:      "Flt. 1",
 		Title:   "sink outage on the hidden-node pair (5 s, beacons stopped): delivery through and after the blackout",
-		Columns: []string{"MAC", "baseline PDR", "outage PDR", "lost packets", "recovery [s]", "suppressed TX"},
+		Columns: []string{"MAC", "baseline PDR", "outage PDR", "lost packets", "recovery [s]", "suppressed TX", "delay p95 [s]", "delay p99 [s]"},
 	}
 	reboot := &Table{
 		ID:      "Flt. 2",
@@ -186,7 +187,9 @@ func RunFaults(mode Mode) []*Table {
 			ci(o["outagePdr"].Mean, o["outagePdr"].CI),
 			ci(o["lost"].Mean, o["lost"].CI),
 			ci(o["recovery"].Mean, o["recovery"].CI),
-			f2(o["suppressed"].Mean))
+			f2(o["suppressed"].Mean),
+			f3(o["delayP95"].Mean),
+			f3(o["delayP99"].Mean))
 		reboot.AddRow(mk.String(),
 			ci(r["baseline"].Mean, r["baseline"].CI),
 			ci(r["lost"].Mean, r["lost"].CI),

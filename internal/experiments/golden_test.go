@@ -29,9 +29,9 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden di
 // goldenIDs are the experiments covered by committed digests: the headline
 // hidden-node sweep, a testbed figure, the DSME scalability family, the
 // large-N scale family, the dynamics family, the cross-protocol baselines
-// family, the capture-enabled NOMA power-level family and the
-// fault-injection family.
-var goldenIDs = []string{"fig07-09", "fig18", "fig21-22", "scale", "dynamics", "baselines", "noma", "faults"}
+// family, the capture-enabled NOMA power-level family, the fault-injection
+// family and the overload/access-barring family.
+var goldenIDs = []string{"fig07-09", "fig18", "fig21-22", "scale", "dynamics", "baselines", "noma", "faults", "overload"}
 
 // goldenDigest is the committed JSON shape.
 type goldenDigest struct {

@@ -85,6 +85,22 @@ func (q *Queue) Pop() *Frame {
 	return f
 }
 
+// At returns the i-th frame from the head without removing it. The caller
+// must keep i inside [0, Len()).
+func (q *Queue) At(i int) *Frame { return q.items[i] }
+
+// RemoveAt removes and returns the i-th frame from the head, preserving the
+// order of the rest. Drop policies use it to evict queued frames; they must
+// never remove index 0, the in-service head an engine may hold a pointer to
+// mid-transaction. The caller must keep i inside [0, Len()).
+func (q *Queue) RemoveAt(i int) *Frame {
+	f := q.items[i]
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = nil
+	q.items = q.items[:len(q.items)-1]
+	return f
+}
+
 // Clear removes all queued frames (used between experiment phases).
 func (q *Queue) Clear() {
 	for i := range q.items {

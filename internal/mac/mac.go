@@ -82,6 +82,55 @@ type Stats struct {
 	AcksCorrupted uint64
 	// Reboots counts power-cycle faults applied to this node.
 	Reboots uint64
+	// Barred counts channel-access attempts denied by the access-class
+	// barring gate (internal/barring): the Bernoulli(p) draw failed and the
+	// engine waited out the barring backoff.
+	Barred uint64
+	// DeadlineDrops counts queued frames evicted by the DeadlineDrop policy
+	// because they exceeded their queueing deadline while the queue was full.
+	DeadlineDrops uint64
+}
+
+// DropPolicy selects what a full transmit queue sacrifices when another
+// frame arrives. The zero value is TailDrop, the pre-existing behaviour.
+type DropPolicy uint8
+
+const (
+	// TailDrop rejects the incoming frame (the default).
+	TailDrop DropPolicy = iota
+	// DropOldest evicts the oldest queued frame that is not the in-service
+	// head to make room for the newcomer — under overload, fresh data beats
+	// stale data.
+	DropOldest
+	// DeadlineDrop evicts queued non-head frames older than the configured
+	// deadline; when nothing has expired it falls back to tail-drop. The
+	// IIoT framing: a sensor reading past its deadline is worthless, so it
+	// should not occupy a queue slot under backpressure.
+	DeadlineDrop
+)
+
+// ParseDropPolicy resolves the CLI/public-API spelling of a drop policy.
+func ParseDropPolicy(s string) (DropPolicy, error) {
+	switch s {
+	case "", "tail":
+		return TailDrop, nil
+	case "oldest":
+		return DropOldest, nil
+	case "deadline":
+		return DeadlineDrop, nil
+	}
+	return TailDrop, fmt.Errorf("mac: unknown drop policy %q (want tail, oldest or deadline)", s)
+}
+
+// String reports the canonical spelling.
+func (d DropPolicy) String() string {
+	switch d {
+	case DropOldest:
+		return "oldest"
+	case DeadlineDrop:
+		return "deadline"
+	}
+	return "tail"
 }
 
 // Config assembles a Base. All reference fields are required.
@@ -130,6 +179,18 @@ type Config struct {
 	// retries, or dropped by CSMA backoff exhaustion). All engines of one
 	// kernel may share a pool; it must not cross kernels.
 	FramePool *frame.Pool
+	// BarringRng drives the node's access-class barring draws
+	// (internal/barring). It must be a deterministic stream private to this
+	// node. nil — the default — disables the barring gate entirely:
+	// AccessBarred returns immediately and never draws, so runs without
+	// barring stay byte-identical.
+	BarringRng *sim.Rand
+	// Drop selects the transmit-queue overflow policy (zero: TailDrop, the
+	// pre-existing behaviour).
+	Drop DropPolicy
+	// DropDeadline is the DeadlineDrop age limit (0 selects 16 superframes
+	// ≈ 2 s, the neighbour-staleness horizon).
+	DropDeadline sim.Time
 }
 
 type neighborLevel struct {
@@ -179,6 +240,17 @@ type Base struct {
 	desyncUntil     sim.Time
 	ackCorruptUntil sim.Time
 
+	// Access-class barring state (internal/barring). barP is the factor the
+	// sink last broadcast (1 = fully open), barBackoff the barring backoff
+	// that came with it, barUntil the horizon of the node's current barred
+	// wait, and barStreak the consecutive failed draws driving the adaptive
+	// retry-backoff escalation. All plain values: with cfg.BarringRng nil the
+	// gate is a single pointer comparison and the state never changes.
+	barP       float64
+	barBackoff sim.Time
+	barUntil   sim.Time
+	barStreak  int
+
 	// neighborQueue holds the most recently overheard queue level per
 	// neighbour (piggybacked in every frame, §4.2) with its reception time.
 	neighborQueue map[frame.NodeID]neighborLevel
@@ -211,9 +283,13 @@ func NewBase(cfg Config) *Base {
 	if cfg.NeighborStaleAfter <= 0 {
 		cfg.NeighborStaleAfter = 16 * cfg.Clock.Config().SuperframeDuration()
 	}
+	if cfg.DropDeadline <= 0 {
+		cfg.DropDeadline = 16 * cfg.Clock.Config().SuperframeDuration()
+	}
 	b := &Base{
 		cfg:           cfg,
 		queue:         frame.NewQueue(cfg.QueueCap),
+		barP:          1,
 		neighborQueue: make(map[frame.NodeID]neighborLevel),
 		lastSeq:       make(map[frame.NodeID]uint32),
 		hasSeq:        make(map[frame.NodeID]bool),
@@ -286,6 +362,67 @@ func (b *Base) CorruptAcksUntil(t sim.Time) {
 	}
 }
 
+// SetBarring installs the barring factor p and barring backoff the sink
+// broadcast in its latest beacon (internal/barring). Engines never call it;
+// the scenario's beacon loop pushes the payload into every Base at each
+// beacon instant. Without a configured BarringRng the values are stored but
+// the gate stays inert.
+func (b *Base) SetBarring(p float64, backoff sim.Time) {
+	b.barP = p
+	b.barBackoff = backoff
+}
+
+// BarringFactor reports the barring factor last broadcast to this node
+// (1 until the first beacon arrives).
+func (b *Base) BarringFactor() float64 { return b.barP }
+
+// barStreakCap bounds the adaptive retry-backoff escalation: sustained
+// barring doubles the wait per consecutive failed draw up to 2^barStreakCap
+// times the broadcast backoff, so a congested network spreads its retries
+// without any node waiting unboundedly long.
+const barStreakCap = 3
+
+// AccessBarred applies the access-class barring gate to a new channel-access
+// attempt: with probability p (the factor from the latest beacon) access is
+// granted; otherwise the attempt is barred and the engine must not touch the
+// channel before retryAt. Engines call it at the top of every fresh access
+// attempt — retries of an attempt already in flight are not re-gated, which
+// mirrors LTE access-class barring (the draw happens per access attempt, not
+// per backoff slot).
+//
+// Cost discipline: with no BarringRng configured (barring disabled) the
+// method returns after one nil comparison and draws nothing, so pre-existing
+// runs replay byte-identically. While a barred wait is pending, repeated
+// calls return the same horizon without drawing, so per-subslot engines can
+// poll it freely.
+func (b *Base) AccessBarred() (barred bool, retryAt sim.Time) {
+	if b.cfg.BarringRng == nil || b.barP >= 1 {
+		return false, 0
+	}
+	now := b.cfg.Kernel.Now()
+	if b.barUntil > now {
+		return true, b.barUntil
+	}
+	if b.cfg.BarringRng.Float64() < b.barP {
+		b.barStreak = 0
+		return false, 0
+	}
+	b.stats.Barred++
+	wait := b.barBackoff
+	if wait <= 0 {
+		wait = b.cfg.Clock.Config().SuperframeDuration()
+	}
+	if s := b.barStreak; s > 0 {
+		if s > barStreakCap {
+			s = barStreakCap
+		}
+		wait <<= uint(s)
+	}
+	b.barStreak++
+	b.barUntil = now + wait
+	return true, b.barUntil
+}
+
 // Down reports whether the node is inside an outage window.
 func (b *Base) Down() bool { return b.downUntil > b.cfg.Kernel.Now() }
 
@@ -333,14 +470,25 @@ func (b *Base) Reboot() {
 	clear(b.neighborQueue)
 	clear(b.lastSeq)
 	clear(b.hasSeq)
+	// Barring state is volatile too: a freshly booted node has not heard a
+	// beacon yet, so it starts fully open and re-learns p at the next one.
+	b.barP = 1
+	b.barBackoff = 0
+	b.barUntil = 0
+	b.barStreak = 0
 	b.stats.Reboots++
 }
 
 // Enqueue implements Engine: it offers f to the transmit queue, tracking the
 // queue-level integral and drop counters, and notifies the engine's
-// channel-access trigger on acceptance.
+// channel-access trigger on acceptance. A full queue first applies the
+// configured drop policy (evicting queued frames under DropOldest and
+// DeadlineDrop); whatever still does not fit is tail-dropped.
 func (b *Base) Enqueue(f *frame.Frame) bool {
 	b.noteQueueChange()
+	if b.queue.Full() && b.cfg.Drop != TailDrop {
+		b.makeRoom()
+	}
 	if !b.queue.Push(f) {
 		b.stats.QueueDrops++
 		return false
@@ -350,6 +498,36 @@ func (b *Base) Enqueue(f *frame.Frame) bool {
 		b.cfg.OnAccept()
 	}
 	return true
+}
+
+// makeRoom applies the DropOldest/DeadlineDrop eviction to a full queue.
+// Index 0 — the in-service head an engine may be transmitting right now — is
+// never evicted, so a queue of capacity 1 degrades to tail-drop. Evicted
+// frames leave the MAC permanently: their Done callback fires with failure
+// and they return to the frame pool exactly once, like any other drop.
+func (b *Base) makeRoom() {
+	switch b.cfg.Drop {
+	case DropOldest:
+		if b.queue.Len() > 1 {
+			b.evict(1)
+			b.stats.QueueDrops++
+		}
+	case DeadlineDrop:
+		cutoff := b.cfg.Kernel.Now() - b.cfg.DropDeadline
+		// Walk back-to-front so removals do not shift unvisited indices.
+		for i := b.queue.Len() - 1; i >= 1; i-- {
+			if b.queue.At(i).CreatedAt < cutoff {
+				b.evict(i)
+				b.stats.DeadlineDrops++
+			}
+		}
+	}
+}
+
+func (b *Base) evict(i int) {
+	f := b.queue.RemoveAt(i)
+	b.signalDone(f, false)
+	b.cfg.FramePool.Put(f)
 }
 
 func (b *Base) noteQueueChange() {

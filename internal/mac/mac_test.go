@@ -285,3 +285,176 @@ func TestCommandHook(t *testing.T) {
 		t.Fatal("GTS response broadcast did not reach the command hook")
 	}
 }
+
+func TestForwardingFullQueueDropsOnce(t *testing.T) {
+	// A frame dropped by a full queue on the forwarding path must be counted
+	// exactly once and returned to the pool exactly once — the double-release
+	// checker turns a second Put into a panic.
+	pool := &frame.Pool{}
+	pool.SetChecks(true)
+	router := tableRouter{1: 0}
+	r := newRig(t, 3, []Config{
+		{FramePool: pool},
+		{Router: router, FramePool: pool, QueueCap: 1},
+		{FramePool: pool},
+	})
+	// Fill node 1's single-slot queue so the forwarded copy cannot fit.
+	if !r.bases[1].Enqueue(testData(1, 0, 9)) {
+		t.Fatal("priming enqueue failed")
+	}
+	f := testData(2, 1, 1)
+	f.Sink = 0
+	r.bases[1].Deliver(f)
+	st := r.bases[1].Stats()
+	if st.Forwarded != 0 {
+		t.Errorf("Forwarded = %d, want 0", st.Forwarded)
+	}
+	if st.QueueDrops != 1 {
+		t.Errorf("QueueDrops = %d, want 1", st.QueueDrops)
+	}
+	if st.DeadlineDrops != 0 {
+		t.Errorf("DeadlineDrops = %d, want 0", st.DeadlineDrops)
+	}
+	// The head frame must be untouched by the drop.
+	if h := r.bases[1].Queue().Head(); h == nil || h.Seq != 9 {
+		t.Fatalf("queue head = %+v, want the primed frame", h)
+	}
+}
+
+func TestDropOldestEvictsBehindHead(t *testing.T) {
+	pool := &frame.Pool{}
+	pool.SetChecks(true)
+	r := newRig(t, 1, []Config{{FramePool: pool, QueueCap: 2, Drop: DropOldest}})
+	b := r.bases[0]
+	var doneOld *bool
+	f1, f2, f3 := testData(0, 0, 1), pool.Get(), testData(0, 0, 3)
+	*f2 = *testData(0, 0, 2)
+	f2.Done = func(ok bool) { doneOld = &ok }
+	b.Enqueue(f1)
+	b.Enqueue(f2)
+	if !b.Enqueue(f3) {
+		t.Fatal("drop-oldest enqueue rejected the arrival")
+	}
+	st := b.Stats()
+	if st.QueueDrops != 1 || st.Enqueued != 3 {
+		t.Errorf("stats = %+v, want 1 queue drop and 3 enqueued", st)
+	}
+	if doneOld == nil || *doneOld {
+		t.Errorf("evicted frame's Done = %v, want failure", doneOld)
+	}
+	// The in-service head must never be evicted; the arrival sits behind it.
+	if h := b.Queue().Head(); h == nil || h.Seq != 1 {
+		t.Fatalf("queue head = %+v, want seq 1", h)
+	}
+	if b.Queue().Len() != 2 || b.Queue().At(1).Seq != 3 {
+		t.Fatalf("queue tail wrong: len %d", b.Queue().Len())
+	}
+}
+
+func TestDropOldestCapacityOneDegradesToTailDrop(t *testing.T) {
+	r := newRig(t, 1, []Config{{QueueCap: 1, Drop: DropOldest}})
+	b := r.bases[0]
+	b.Enqueue(testData(0, 0, 1))
+	if b.Enqueue(testData(0, 0, 2)) {
+		t.Fatal("capacity-1 queue must tail-drop (head is in service)")
+	}
+	if st := b.Stats(); st.QueueDrops != 1 {
+		t.Errorf("QueueDrops = %d, want 1", st.QueueDrops)
+	}
+}
+
+func TestDeadlineDropEvictsExpired(t *testing.T) {
+	pool := &frame.Pool{}
+	pool.SetChecks(true)
+	deadline := sim.Time(100)
+	r := newRig(t, 1, []Config{{FramePool: pool, QueueCap: 2, Drop: DeadlineDrop, DropDeadline: deadline}})
+	b := r.bases[0]
+	f1, f2 := testData(0, 0, 1), pool.Get()
+	*f2 = *testData(0, 0, 2)
+	b.Enqueue(f1)
+	b.Enqueue(f2) // CreatedAt 0
+	r.k.Run(200)  // both queued frames are now past the deadline
+	fresh := testData(0, 0, 3)
+	fresh.CreatedAt = r.k.Now()
+	if !b.Enqueue(fresh) {
+		t.Fatal("deadline-drop enqueue rejected the arrival")
+	}
+	st := b.Stats()
+	if st.DeadlineDrops != 1 || st.QueueDrops != 0 {
+		t.Errorf("stats = %+v, want exactly 1 deadline drop", st)
+	}
+	// Only the non-head expired frame goes; the in-service head stays.
+	if h := b.Queue().Head(); h == nil || h.Seq != 1 {
+		t.Fatalf("queue head = %+v, want seq 1", h)
+	}
+}
+
+func TestParseDropPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want DropPolicy
+	}{{"", TailDrop}, {"tail", TailDrop}, {"oldest", DropOldest}, {"deadline", DeadlineDrop}} {
+		got, err := ParseDropPolicy(tc.in)
+		if err != nil || got != tc.want {
+			t.Errorf("ParseDropPolicy(%q) = %v, %v", tc.in, got, err)
+		}
+		if tc.in != "" && got.String() != tc.in {
+			t.Errorf("String() = %q, want %q", got.String(), tc.in)
+		}
+	}
+	if _, err := ParseDropPolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestAccessBarringDisabledWithoutRng(t *testing.T) {
+	r := newRig(t, 1, nil)
+	b := r.bases[0]
+	b.SetBarring(0, 100) // even a fully closed gate is inert without an RNG
+	if barred, _ := b.AccessBarred(); barred {
+		t.Fatal("barring engaged without a BarringRng")
+	}
+	if st := b.Stats(); st.Barred != 0 {
+		t.Errorf("Barred = %d, want 0", st.Barred)
+	}
+}
+
+func TestAccessBarringGateAndEscalation(t *testing.T) {
+	r := newRig(t, 1, []Config{{BarringRng: sim.NewRand(1)}})
+	b := r.bases[0]
+	if barred, _ := b.AccessBarred(); barred {
+		t.Fatal("default barring factor must be fully open")
+	}
+	b.SetBarring(0, 100) // p=0: every draw fails
+	barred, retry := b.AccessBarred()
+	if !barred || retry != 100 {
+		t.Fatalf("first bar: barred=%v retry=%v, want true, 100", barred, retry)
+	}
+	// While the backoff runs, re-polls return the cached horizon without
+	// drawing or re-counting.
+	barred2, retry2 := b.AccessBarred()
+	if !barred2 || retry2 != retry {
+		t.Fatalf("cached bar: barred=%v retry=%v", barred2, retry2)
+	}
+	if st := b.Stats(); st.Barred != 1 {
+		t.Errorf("Barred = %d, want 1 (cached re-poll must not count)", st.Barred)
+	}
+	// Past the horizon the next failed draw escalates the wait (<<1).
+	r.k.Run(150)
+	barred3, retry3 := b.AccessBarred()
+	if !barred3 || retry3 != r.k.Now()+200 {
+		t.Fatalf("escalated bar: barred=%v retry=%v, want %v", barred3, retry3, r.k.Now()+200)
+	}
+	if b.BarringFactor() != 0 {
+		t.Errorf("BarringFactor = %v, want 0", b.BarringFactor())
+	}
+	// A fully open beacon lifts the gate immediately once the wait passed.
+	r.k.Run(500)
+	b.SetBarring(1, 100)
+	if barred, _ := b.AccessBarred(); barred {
+		t.Fatal("p=1 must never bar")
+	}
+	if st := b.Stats(); st.Barred != 2 {
+		t.Errorf("Barred = %d, want 2", st.Barred)
+	}
+}

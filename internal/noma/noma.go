@@ -363,7 +363,11 @@ func (e *Engine) tick() {
 	case e.base.Queue().Empty():
 		// No packet, no action.
 	default:
-		e.decide(m)
+		// Access-class barring gates every fresh channel-access decision
+		// (see internal/core for the polling discipline).
+		if barred, _ := e.base.AccessBarred(); !barred {
+			e.decide(m)
+		}
 	}
 	e.armIfNeeded()
 }

@@ -169,6 +169,15 @@ type Medium struct {
 	// invariantChecks enables the opt-in runtime self-checks (busy counters
 	// must never go negative). Tests and fuzz harnesses enable them.
 	invariantChecks bool
+
+	// airTxCount/airBusyTime accumulate the medium-wide congestion picture:
+	// every started transmission and its airtime, regardless of outcome.
+	// Overlapping transmissions count separately, so a load estimator diffing
+	// airBusyTime against wall time reads values above 1 exactly when the
+	// channel is contested — the signal the access-barring controller
+	// (internal/barring) feeds on.
+	airTxCount  uint64
+	airBusyTime sim.Time
 }
 
 // NewMedium builds a medium over the given topology. rng drives
@@ -255,6 +264,15 @@ func (m *Medium) Attach(id frame.NodeID, h Handler) {
 // Stats returns a copy of the counters for node id.
 func (m *Medium) Stats(id frame.NodeID) NodeStats { return m.stats[id] }
 
+// ChannelLoad reports the medium-wide congestion counters: the number of
+// transmissions ever started and their cumulative airtime (overlaps counted
+// separately). Congestion estimators diff successive readings; dividing the
+// airtime delta by the observation interval yields the channel-occupancy
+// fraction barring.Observation.BusyFraction carries.
+func (m *Medium) ChannelLoad() (txCount uint64, busyAirtime sim.Time) {
+	return m.airTxCount, m.airBusyTime
+}
+
 // SetTuned switches node id's receiver to the given channel. Receptions in
 // flight on the previous channel are lost (their delivery check happens at
 // transmission end against the then-current tuning).
@@ -311,6 +329,8 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame, reduceDB float64) sim
 	m.txUntil[src] = end
 	m.stats[src].TxCount++
 	m.stats[src].TxAirtime += dur
+	m.airTxCount++
+	m.airBusyTime += dur
 	if reduceDB > 0 {
 		m.noteTxPower(src, reduceDB, dur)
 	}

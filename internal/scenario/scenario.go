@@ -10,9 +10,10 @@ import (
 	"fmt"
 	"time"
 
+	"qma/internal/barring"
 	"qma/internal/core"
-	"qma/internal/faults"
 	"qma/internal/csma"
+	"qma/internal/faults"
 	"qma/internal/frame"
 	"qma/internal/mac"
 	"qma/internal/radio"
@@ -171,6 +172,21 @@ type Config struct {
 	// outages, node reboots, ACK corruption, beacon loss (zero value: no
 	// faults, byte-identical to a fault-free build).
 	Faults faults.Schedule
+	// Barring configures sink-side load-adaptive access-class barring: once
+	// per beacon interval the sink observes the medium's congestion and
+	// broadcasts a barring factor p with the (implicit) beacon; nodes gate
+	// fresh channel-access attempts on a Bernoulli(p) draw. The zero value
+	// disables barring entirely — no extra random streams, no extra events,
+	// byte-identical to a pre-barring build.
+	Barring barring.Config
+	// DropPolicy selects how a full transmit queue makes room for an
+	// arriving frame: tail-drop (zero value, reject the arrival — the
+	// pre-backpressure behaviour), drop-oldest, or deadline-drop. See
+	// mac.DropPolicy.
+	DropPolicy mac.DropPolicy
+	// DropDeadline is the residence deadline for mac.DeadlineDrop (0 selects
+	// 16 superframes).
+	DropDeadline sim.Time
 	// EventBudget truncates the run after this many kernel events when
 	// positive; WallBudget truncates it after this much real time. Both mark
 	// Result.Truncated. Replicated sweeps use them to bound runaway runs.
@@ -347,7 +363,8 @@ func build(cfg Config) *run {
 	n := cfg.Network.NumNodes()
 
 	// Stream layout: 0..n-1 engines, 1000 medium, 2000+i traffic,
-	// 3000+i broadcasts; the Gilbert–Elliott process derives per-link
+	// 3000+i broadcasts, 4000+i access-barring gates (only drawn from when
+	// barring is configured); the Gilbert–Elliott process derives per-link
 	// streams of its own from the seed. Fixed offsets keep every consumer's
 	// stream stable when instrumentation is added or removed.
 	topology := cfg.Network.Topology
@@ -408,6 +425,12 @@ func build(cfg Config) *run {
 			panic(fmt.Sprintf("scenario: %v", err))
 		}
 		armFaults(kernel, clock, r.engines, cfg.Faults)
+	}
+	if cfg.Barring.Enabled() {
+		if err := cfg.Barring.Validate(); err != nil {
+			panic(fmt.Sprintf("scenario: %v", err))
+		}
+		r.armBarring()
 	}
 	if cfg.MeasureFrom > 0 {
 		kernel.At(cfg.MeasureFrom, func() {
@@ -505,6 +528,50 @@ func armFaults(kernel *sim.Kernel, clock *superframe.Clock, engines []mac.Engine
 	}
 }
 
+// armBarring installs the sink-side access-class barring loop: once per
+// beacon interval (default: one superframe, matching the simulator's
+// implicit beacon at each superframe start) the sink diffs the congestion
+// counters it observes on the medium — deliveries, collisions, captures and
+// raw channel airtime — into a barring.Observation, runs the configured
+// controller over it, and pushes the resulting barring factor to every
+// node's MAC base as the beacon payload. The loop itself draws no
+// randomness; all barring randomness lives in the nodes' dedicated
+// per-node streams (4000+id).
+func (r *run) armBarring() {
+	cfg := r.cfg.Barring
+	sfd := r.clock.Config().SuperframeDuration()
+	interval := cfg.Interval
+	if interval <= 0 {
+		interval = sfd
+	}
+	backoff := cfg.Backoff
+	if backoff <= 0 {
+		backoff = sfd
+	}
+	ctrl := barring.New(cfg)
+	sink := r.cfg.Network.Sink
+	var prev radio.NodeStats
+	var prevAir sim.Time
+	var tick func()
+	tick = func() {
+		cur := r.medium.Stats(sink)
+		_, air := r.medium.ChannelLoad()
+		obs := barring.Observation{
+			Delivered:    cur.RxDelivered - prev.RxDelivered,
+			Collided:     cur.RxCollided - prev.RxCollided,
+			Captured:     cur.RxCaptured - prev.RxCaptured,
+			BusyFraction: float64(air-prevAir) / float64(interval),
+		}
+		prev, prevAir = cur, air
+		p := ctrl.Update(obs)
+		for _, e := range r.engines {
+			e.Base().SetBarring(p, backoff)
+		}
+		r.kernel.Schedule(interval, tick)
+	}
+	r.kernel.Schedule(interval, tick)
+}
+
 func (r *run) macConfig(id frame.NodeID) mac.Config {
 	retries := r.cfg.MaxRetries
 	switch {
@@ -513,15 +580,25 @@ func (r *run) macConfig(id frame.NodeID) mac.Config {
 	case retries < 0:
 		retries = 0 // disabled
 	}
+	// The barring RNG stream only exists when barring is configured: a
+	// zero-valued Barring config must leave every node's stream set — and
+	// therefore the whole run — byte-identical to a pre-barring build.
+	var barringRng *sim.Rand
+	if r.cfg.Barring.Enabled() {
+		barringRng = sim.NewRandStream(r.cfg.Seed, 4000+uint64(id))
+	}
 	return mac.Config{
-		ID:         id,
-		Kernel:     r.kernel,
-		Medium:     r.medium,
-		Clock:      r.clock,
-		QueueCap:   r.cfg.QueueCap,
-		MaxRetries: retries,
-		Router:     r.cfg.Network,
-		FramePool:  r.pool,
+		ID:           id,
+		Kernel:       r.kernel,
+		Medium:       r.medium,
+		Clock:        r.clock,
+		QueueCap:     r.cfg.QueueCap,
+		MaxRetries:   retries,
+		Router:       r.cfg.Network,
+		FramePool:    r.pool,
+		BarringRng:   barringRng,
+		Drop:         r.cfg.DropPolicy,
+		DropDeadline: r.cfg.DropDeadline,
 		OnSinkDeliver: func(f *frame.Frame) {
 			if f.Tag != frame.TagEval || f.Kind != frame.Data {
 				return

@@ -163,14 +163,20 @@ func (s *Series) Downsample(max int) *Series {
 // Quantile reports the q-quantile (0..1) of the series values using linear
 // interpolation; NaN when empty.
 func (s *Series) Quantile(q float64) float64 {
-	if len(s.points) == 0 {
-		return math.NaN()
-	}
 	vals := make([]float64, len(s.points))
 	for i, p := range s.points {
 		vals[i] = p.V
 	}
 	sort.Float64s(vals)
+	return quantileSorted(vals, q)
+}
+
+// quantileSorted interpolates the q-quantile over an ascending slice; NaN
+// when empty.
+func quantileSorted(vals []float64, q float64) float64 {
+	if len(vals) == 0 {
+		return math.NaN()
+	}
 	if q <= 0 {
 		return vals[0]
 	}
@@ -184,4 +190,43 @@ func (s *Series) Quantile(q float64) float64 {
 		return vals[lo]
 	}
 	return vals[lo]*(1-frac) + vals[lo+1]*frac
+}
+
+// Sample accumulates raw observations for quantile estimation — the delay
+// percentile machinery of the overload and fault tables (p50/p95/p99). The
+// zero value is ready to use.
+type Sample struct {
+	vals   []float64
+	sorted bool
+}
+
+// Add incorporates one observation.
+func (s *Sample) Add(x float64) {
+	s.vals = append(s.vals, x)
+	s.sorted = false
+}
+
+// N reports the number of observations.
+func (s *Sample) N() int { return len(s.vals) }
+
+// Mean reports the sample mean (0 when empty).
+func (s *Sample) Mean() float64 {
+	if len(s.vals) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vals {
+		sum += v
+	}
+	return sum / float64(len(s.vals))
+}
+
+// Quantile reports the q-quantile (0..1) with linear interpolation; NaN when
+// empty. The sort is cached across calls until the next Add.
+func (s *Sample) Quantile(q float64) float64 {
+	if !s.sorted {
+		sort.Float64s(s.vals)
+		s.sorted = true
+	}
+	return quantileSorted(s.vals, q)
 }

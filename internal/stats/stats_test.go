@@ -169,3 +169,45 @@ func TestSummarize(t *testing.T) {
 		t.Error("empty string rendering")
 	}
 }
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Error("empty sample should yield NaN quantiles")
+	}
+	if s.Mean() != 0 || s.N() != 0 {
+		t.Errorf("empty sample: mean %v n %d", s.Mean(), s.N())
+	}
+	// Out-of-order insertion; quantiles must match the sorted view.
+	for _, v := range []float64{5, 1, 3, 2, 4} {
+		s.Add(v)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.5); got != 3 {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := s.Quantile(0.75); got != 4 {
+		t.Errorf("p75 = %v", got)
+	}
+	if s.Mean() != 3 || s.N() != 5 {
+		t.Errorf("mean %v n %d", s.Mean(), s.N())
+	}
+	// Adding after a quantile call must invalidate the sort cache.
+	s.Add(0)
+	if got := s.Quantile(0); got != 0 {
+		t.Errorf("q0 after add = %v", got)
+	}
+	// Sample and Series share the interpolation rule.
+	var ser Series
+	for i, v := range []float64{1, 2, 3, 4, 5, 0} {
+		ser.Add(float64(i), v)
+	}
+	if a, b := s.Quantile(0.95), ser.Quantile(0.95); a != b {
+		t.Errorf("Sample p95 %v != Series p95 %v", a, b)
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 	"qma/internal/aloha"
 	"qma/internal/bandit"
+	"qma/internal/barring"
 	"qma/internal/core"
 	"qma/internal/csma"
 	"qma/internal/faults"
@@ -276,6 +277,58 @@ type Scenario struct {
 	// Faults enables deterministic infrastructure faults — sink outages,
 	// node reboots, ACK corruption, beacon loss (nil = fault-free).
 	Faults *Faults
+	// Barring enables sink-side load-adaptive access-class barring: the sink
+	// observes congestion once per beacon interval and broadcasts a barring
+	// factor p; nodes gate fresh channel-access attempts on a Bernoulli(p)
+	// draw (nil = no barring, byte-identical to earlier builds).
+	Barring *Barring
+	// DropPolicy selects the full-queue backpressure policy: "" or "tail"
+	// (reject arrivals — the default), "oldest" (evict the oldest queued
+	// frame) or "deadline" (evict frames older than DropDeadlineSeconds).
+	DropPolicy string
+	// DropDeadlineSeconds is the queue-residence deadline for the "deadline"
+	// drop policy (0 selects 16 superframes ≈ 2 s).
+	DropDeadlineSeconds float64
+}
+
+// Barring configures sink-side load-adaptive access-class barring (LTE
+// access-class-barring style, driven by the congestion the sink observes on
+// the medium). A nil (or zero-valued) Barring leaves the simulator on its
+// barring-free code paths, byte-identical to earlier builds.
+type Barring struct {
+	// Policy selects the controller: "fixed" (constant factor P), "aimd"
+	// (halve on congestion, open additively when healthy) or "pid"
+	// (velocity-form PI on the collision ratio).
+	Policy string
+	// P is the fixed policy's barring factor and every policy's initial
+	// factor (0 selects fully open, 1).
+	P float64
+	// Target is the collision-ratio setpoint for aimd/pid (0 selects 0.1).
+	Target float64
+	// MinP floors the adaptive policies' barring factor (0 selects 0.05).
+	MinP float64
+	// IntervalSeconds is the beacon/observation interval (0 selects one
+	// superframe, 122.88 ms).
+	IntervalSeconds float64
+	// BackoffSeconds is the base wait of a barred node before redrawing
+	// (0 selects one superframe); repeated barring escalates it
+	// exponentially.
+	BackoffSeconds float64
+}
+
+// internal converts the public barring block to the internal config.
+func (b *Barring) internal() barring.Config {
+	if b == nil {
+		return barring.Config{}
+	}
+	return barring.Config{
+		Policy:   barring.Policy(b.Policy),
+		P:        b.P,
+		Target:   b.Target,
+		MinP:     b.MinP,
+		Interval: sim.FromSeconds(b.IntervalSeconds),
+		Backoff:  sim.FromSeconds(b.BackoffSeconds),
+	}
 }
 
 // GilbertElliott parameterizes the per-link two-state burst-error channel
@@ -390,6 +443,10 @@ type NodeResult struct {
 	// TxAttempts, TxSuccess, TxFail, RetryDrops and QueueDrops are MAC
 	// counters.
 	TxAttempts, TxSuccess, TxFail, RetryDrops, QueueDrops uint64
+	// Barred counts channel-access attempts deferred by access-class
+	// barring; DeadlineDrops counts frames evicted by the "deadline" drop
+	// policy. Both stay 0 unless the corresponding feature is enabled.
+	Barred, DeadlineDrops uint64
 	// Captured counts receptions at this node that were delivered although
 	// another transmission overlapped them — SINR capture resolved the
 	// collision in their favour. Always 0 unless CaptureThresholdDB is set.
@@ -463,7 +520,29 @@ func (s *Scenario) Validate() error {
 	if err := s.validateDynamics(); err != nil {
 		return err
 	}
-	return s.validateFaults()
+	if err := s.validateFaults(); err != nil {
+		return err
+	}
+	return s.validateBarring()
+}
+
+// validateBarring checks the Barring block and the drop-policy knobs by
+// converting to the internal forms and running their own validators, so the
+// public and internal layers can never drift apart.
+func (s *Scenario) validateBarring() error {
+	if s.Barring != nil {
+		cfg := s.Barring.internal()
+		if err := cfg.Validate(); err != nil {
+			return fmt.Errorf("qma: %w", err)
+		}
+	}
+	if _, err := mac.ParseDropPolicy(s.DropPolicy); err != nil {
+		return fmt.Errorf("qma: %w", err)
+	}
+	if s.DropDeadlineSeconds < 0 {
+		return fmt.Errorf("qma: DropDeadlineSeconds=%g must not be negative", s.DropDeadlineSeconds)
+	}
+	return nil
 }
 
 // validateDynamics checks the Dynamics block against the topology.
@@ -659,7 +738,10 @@ func (s *Scenario) Run() (*Result, error) {
 		MeasureFrom:        sim.FromSeconds(s.MeasureFromSeconds),
 		Dynamics:           s.Dynamics.internal(),
 		Faults:             s.Faults.internal(),
+		Barring:            s.Barring.internal(),
+		DropDeadline:       sim.FromSeconds(s.DropDeadlineSeconds),
 	}
+	cfg.DropPolicy, _ = mac.ParseDropPolicy(s.DropPolicy) // validated above
 	if s.SampleSeries {
 		cfg.SamplePeriod = 122880 * sim.Microsecond // one superframe
 	}
@@ -707,6 +789,8 @@ func (s *Scenario) Run() (*Result, error) {
 			TxFail:           n.MAC.TxFail,
 			RetryDrops:       n.MAC.RetryDrops,
 			QueueDrops:       n.MAC.QueueDrops,
+			Barred:           n.MAC.Barred,
+			DeadlineDrops:    n.MAC.DeadlineDrops,
 			Captured:         n.Radio.RxCaptured,
 			Policy:           policyString(n.Policy),
 			CumulativeQ:      points(n.CumQ),

@@ -97,6 +97,27 @@ func TestScenarioValidateErrorPaths(t *testing.T) {
 		{"beacon loss without duration", func(s *qma.Scenario) {
 			s.Faults = &qma.Faults{BeaconLoss: []qma.BeaconLoss{{Node: 1, AtSeconds: 1}}}
 		}, "must be positive"},
+		{"barring unknown policy", func(s *qma.Scenario) {
+			s.Barring = &qma.Barring{Policy: "token-bucket"}
+		}, "unknown policy"},
+		{"barring factor out of range", func(s *qma.Scenario) {
+			s.Barring = &qma.Barring{Policy: "fixed", P: 1.5}
+		}, "outside [0,1]"},
+		{"barring target out of range", func(s *qma.Scenario) {
+			s.Barring = &qma.Barring{Policy: "aimd", Target: 1}
+		}, "outside [0,1)"},
+		{"barring negative interval", func(s *qma.Scenario) {
+			s.Barring = &qma.Barring{Policy: "pid", IntervalSeconds: -1}
+		}, "negative interval"},
+		{"barring negative backoff", func(s *qma.Scenario) {
+			s.Barring = &qma.Barring{Policy: "aimd", BackoffSeconds: -0.5}
+		}, "negative backoff"},
+		{"unknown drop policy", func(s *qma.Scenario) {
+			s.DropPolicy = "lifo"
+		}, "drop policy"},
+		{"negative drop deadline", func(s *qma.Scenario) {
+			s.DropDeadlineSeconds = -1
+		}, "must not be negative"},
 	}
 	for _, tc := range cases {
 		sc := base()
@@ -149,6 +170,11 @@ func TestScenarioValidateAccepts(t *testing.T) {
 		{Topology: qma.Star17(), DurationSeconds: 1,
 			Dynamics: &qma.Dynamics{Moves: []qma.Move{{Node: 3, AtSeconds: 0.5, X: 1, Y: -2}}}},
 		{Topology: qma.HiddenNode(), DurationSeconds: 1, Faults: &qma.Faults{}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1, Barring: &qma.Barring{}},
+		{Topology: qma.HiddenNode(), DurationSeconds: 1,
+			Barring: &qma.Barring{Policy: "aimd", P: 0.5, Target: 0.2, MinP: 0.1,
+				IntervalSeconds: 0.5, BackoffSeconds: 0.25},
+			DropPolicy: "deadline", DropDeadlineSeconds: 3},
 		{Topology: qma.HiddenNode(), DurationSeconds: 1,
 			Faults: &qma.Faults{
 				Outages:       []qma.Outage{{Node: 1, AtSeconds: 2, ForSeconds: 3, StopBeacons: true}},
@@ -215,6 +241,80 @@ func TestZeroFaultsIsByteIdentical(t *testing.T) {
 	zero := run(&qma.Faults{})
 	if !reflect.DeepEqual(clean, zero) {
 		t.Fatal("a zero-valued Faults block changed the run's results")
+	}
+}
+
+// TestZeroBarringIsByteIdentical pins the same guarantee for the overload
+// subsystem: attaching an empty Barring block (and the zero drop policy /
+// deadline) changes nothing about a run — the barring RNG streams are not
+// even allocated.
+func TestZeroBarringIsByteIdentical(t *testing.T) {
+	run := func(b *qma.Barring) *qma.Result {
+		sc := &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 30,
+			Seed:            7,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 5}}, StartSeconds: 1},
+			},
+			Barring:             b,
+			DropPolicy:          "tail",
+			DropDeadlineSeconds: 0,
+		}
+		res, err := sc.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	clean := run(nil)
+	zero := run(&qma.Barring{})
+	if !reflect.DeepEqual(clean, zero) {
+		t.Fatal("a zero-valued Barring block changed the run's results")
+	}
+}
+
+// TestBarringEndToEnd drives the access-barring controller through the
+// public API on a deliberately overloaded hidden-node pair: barring must
+// actually bite (barred attempts accumulate), the run must stay plausible,
+// and identical configurations must replay byte-identically.
+func TestBarringEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	build := func(b *qma.Barring) *qma.Scenario {
+		return &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			DurationSeconds: 60,
+			Seed:            3,
+			Barring:         b,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 20}}, StartSeconds: 1},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 20}}, StartSeconds: 1},
+			},
+		}
+	}
+	barred, err := build(&qma.Barring{Policy: "aimd"}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalBarred uint64
+	for _, n := range barred.Nodes {
+		totalBarred += n.Barred
+	}
+	if totalBarred == 0 {
+		t.Error("AIMD barring under 2x20 pkt/s overload never barred an attempt")
+	}
+	if barred.NetworkPDR <= 0.05 {
+		t.Errorf("barred PDR %.3f implausibly low — barring locked the network out", barred.NetworkPDR)
+	}
+	again, err := build(&qma.Barring{Policy: "aimd"}).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(barred, again) {
+		t.Error("identical barring configurations produced different results")
 	}
 }
 
