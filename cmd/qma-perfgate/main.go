@@ -1,0 +1,288 @@
+// Command qma-perfgate is the CI performance gate: it re-runs the stable
+// microbenchmarks with the iteration counts pinned to the committed
+// BENCH_<date>.json snapshot (see README "Benchmark snapshots") and fails
+// when any of them regressed by more than the tolerance in ns/op.
+//
+// Pinning the iteration count removes one source of run-to-run variance —
+// both measurements average over the same number of iterations — but shared
+// CI hardware still jitters, which is why the gate only watches the
+// allocation-free, CPU-bound microbenchmarks (kernel event dispatch, Q-table
+// updates, learner observations, medium transmit, the handshake matrix
+// solve) and not the end-to-end events/s benchmarks, whose variance exceeds
+// any usable tolerance. The end-to-end numbers stay visible in the CI logs
+// via plain benchtime=1x smoke steps.
+//
+// Usage:
+//
+//	qma-perfgate [-snapshot BENCH_x.json] [-tolerance 20] [-v]
+//
+// Exit status 1 means at least one benchmark exceeded the tolerance (or the
+// snapshot is unusable). A slow-but-within-tolerance run prints the ratios
+// and exits 0. Skip the whole gate for a knowingly perf-neutral commit by
+// putting [skip-perf] in the commit message (the CI job checks the tag).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// gated lists the benchmarks the gate compares, per package. Top-level names
+// only — sub-benchmarks found under them in the snapshot are compared
+// individually.
+var gated = map[string][]string{
+	".": {
+		"BenchmarkKernelEvent",
+		"BenchmarkQTableUpdate",
+		"BenchmarkLearnerObserve",
+		"BenchmarkMediumTransmit",
+		"BenchmarkHandshakeMatrix",
+	},
+}
+
+// result is one benchmark measurement: the iteration count and ns/op of a
+// `go test -json` benchmark output line.
+type result struct {
+	Iters int
+	NsOp  float64
+}
+
+func main() {
+	snapshot := flag.String("snapshot", "", "BENCH_*.json snapshot to compare against (default: newest in cwd)")
+	tolerance := flag.Float64("tolerance", 20, "maximum allowed ns/op regression in percent")
+	verbose := flag.Bool("v", false, "print the go test invocations")
+	flag.Parse()
+
+	path := *snapshot
+	if path == "" {
+		var err error
+		path, err = newestSnapshot(".")
+		if err != nil {
+			fatal("%v", err)
+		}
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		fatal("%v", err)
+	}
+	base, err := parseStream(f)
+	f.Close()
+	if err != nil {
+		fatal("parse %s: %v", path, err)
+	}
+	fmt.Printf("perf gate vs %s (tolerance %.0f%%)\n", path, *tolerance)
+
+	runner := func(pkg, name string, iters int) (map[string]result, error) {
+		return runBenchmark(pkg, name, iters, *verbose)
+	}
+	compared, failed, err := gate(os.Stdout, base, *tolerance, runner)
+	if err != nil {
+		fatal("%v (snapshot %s)", err, path)
+	}
+	if compared == 0 {
+		fatal("nothing compared — empty snapshot?")
+	}
+	if failed > 0 {
+		fatal("%d of %d benchmarks regressed beyond %.0f%% vs %s", failed, compared, *tolerance, path)
+	}
+	fmt.Printf("all %d benchmarks within tolerance\n", compared)
+}
+
+// gate compares every gated benchmark against the snapshot measurements in
+// base, invoking runner to collect fresh numbers, and returns how many
+// sub-benchmarks it compared and how many exceeded the tolerance (percent).
+func gate(w interface{ Write([]byte) (int, error) }, base map[string]result, tolerance float64,
+	runner func(pkg, name string, iters int) (map[string]result, error)) (compared, failed int, err error) {
+	for _, pkg := range sortedKeys(gated) {
+		for _, name := range gated[pkg] {
+			subs := subBenchmarks(base, name)
+			if len(subs) == 0 {
+				return 0, 0, fmt.Errorf("benchmark %s not in snapshot — refresh it (README recipe)", name)
+			}
+			// One run per top-level benchmark, iterations pinned to the
+			// slowest sub so every sub gets at least its snapshot sample
+			// size.
+			iters := 0
+			for _, sub := range subs {
+				if base[sub].Iters > iters {
+					iters = base[sub].Iters
+				}
+			}
+			// Best-of-3: a single run on shared CI hardware jitters well
+			// past any usable tolerance, so a benchmark only fails after
+			// exceeding it in three consecutive runs (the minimum ns/op
+			// across runs is compared — transient load slows a run down,
+			// nothing speeds one up).
+			best := make(map[string]float64)
+			for attempt := 0; attempt < 3; attempt++ {
+				cur, rerr := runner(pkg, name, iters)
+				if rerr != nil {
+					return 0, 0, fmt.Errorf("run %s: %v", name, rerr)
+				}
+				over := false
+				for _, sub := range subs {
+					now, ok := cur[sub]
+					if !ok {
+						return 0, 0, fmt.Errorf("benchmark %s vanished from the tree but is in the snapshot", sub)
+					}
+					if b, ok := best[sub]; !ok || now.NsOp < b {
+						best[sub] = now.NsOp
+					}
+					if best[sub] > base[sub].NsOp*(1+tolerance/100) {
+						over = true
+					}
+				}
+				if !over {
+					break
+				}
+			}
+			for _, sub := range subs {
+				was := base[sub]
+				ratio := best[sub] / was.NsOp
+				compared++
+				status := "ok"
+				if ratio > 1+tolerance/100 {
+					status = "FAIL"
+					failed++
+				}
+				fmt.Fprintf(w, "  %-44s %10.2f -> %10.2f ns/op  (%+6.1f%%)  %s\n",
+					sub, was.NsOp, best[sub], (ratio-1)*100, status)
+			}
+		}
+	}
+	return compared, failed, nil
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "qma-perfgate: "+format+"\n", args...)
+	os.Exit(1)
+}
+
+// newestSnapshot picks the lexically last BENCH_*.json in dir — the naming
+// convention is BENCH_<ISO-date>.json, so lexical order is date order.
+func newestSnapshot(dir string) (string, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	if len(paths) == 0 {
+		return "", fmt.Errorf("no BENCH_*.json snapshot in %s", dir)
+	}
+	sort.Strings(paths)
+	return paths[len(paths)-1], nil
+}
+
+// event is the subset of the test2json schema the gate reads.
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// benchLine matches "<iterations>\t  <ns> ns/op" anywhere in a benchmark's
+// accumulated output. go test wraps long benchmark names, so the name and
+// the numbers may arrive in separate output events; accumulating per Test
+// first makes the split irrelevant.
+var benchLine = regexp.MustCompile(`(\d+)\t\s*([0-9.]+) ns/op`)
+
+// parseStream reads a `go test -json` stream and returns ns/op per full
+// benchmark name (e.g. "BenchmarkQTableUpdate/float64").
+func parseStream(r interface{ Read([]byte) (int, error) }) (map[string]result, error) {
+	acc := make(map[string]*strings.Builder)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal([]byte(line), &ev); err != nil {
+			return nil, fmt.Errorf("not a go-test-json event: %q: %v", line, err)
+		}
+		if ev.Action != "output" || ev.Test == "" {
+			continue
+		}
+		b := acc[ev.Test]
+		if b == nil {
+			b = &strings.Builder{}
+			acc[ev.Test] = b
+		}
+		b.WriteString(ev.Output)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := make(map[string]result)
+	for name, b := range acc {
+		m := benchLine.FindStringSubmatch(b.String())
+		if m == nil {
+			continue // a container like BenchmarkQTableUpdate itself, or a non-bench test
+		}
+		iters, err := strconv.Atoi(m[1])
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad iteration count %q", name, m[1])
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return nil, fmt.Errorf("%s: bad ns/op %q", name, m[2])
+		}
+		out[name] = result{Iters: iters, NsOp: ns}
+	}
+	return out, nil
+}
+
+// subBenchmarks returns the full names under top (top itself when it has a
+// measurement, else its sub-benchmarks), sorted.
+func subBenchmarks(results map[string]result, top string) []string {
+	var out []string
+	for name := range results {
+		if name == top || strings.HasPrefix(name, top+"/") {
+			out = append(out, name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// runBenchmark executes one top-level benchmark with a pinned iteration
+// count and returns its measurements keyed by full name.
+func runBenchmark(pkg, name string, iters int, verbose bool) (map[string]result, error) {
+	args := []string{"test", "-run", "^$", "-bench", "^" + regexp.QuoteMeta(name) + "$",
+		"-benchtime", fmt.Sprintf("%dx", iters), "-count", "1", "-json", pkg}
+	if verbose {
+		fmt.Printf("  $ go %s\n", strings.Join(args, " "))
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.StdoutPipe()
+	if err != nil {
+		return nil, err
+	}
+	if err := cmd.Start(); err != nil {
+		return nil, err
+	}
+	res, perr := parseStream(out)
+	if err := cmd.Wait(); err != nil {
+		return nil, fmt.Errorf("go test: %v", err)
+	}
+	return res, perr
+}
+
+func sortedKeys(m map[string][]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

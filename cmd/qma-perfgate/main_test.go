@@ -1,0 +1,265 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample is a minimal go-test-json stream with a split benchmark output
+// line (name in one event, numbers in the next — go test wraps long names
+// like that) and a sub-benchmark.
+const sample = `{"Time":"2026-08-08T00:00:00Z","Action":"run","Package":"qma","Test":"BenchmarkKernelEvent"}
+{"Time":"2026-08-08T00:00:01Z","Action":"output","Package":"qma","Test":"BenchmarkKernelEvent","Output":"BenchmarkKernelEvent     \t"}
+{"Time":"2026-08-08T00:00:01Z","Action":"output","Package":"qma","Test":"BenchmarkKernelEvent","Output":"62343048\t        19.29 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Time":"2026-08-08T00:00:02Z","Action":"run","Package":"qma","Test":"BenchmarkQTableUpdate/float64"}
+{"Time":"2026-08-08T00:00:03Z","Action":"output","Package":"qma","Test":"BenchmarkQTableUpdate/float64","Output":"BenchmarkQTableUpdate/float64         \t151073012\t         7.943 ns/op\t       0 B/op\t       0 allocs/op\n"}
+{"Time":"2026-08-08T00:00:04Z","Action":"output","Package":"qma","Output":"PASS\n"}
+`
+
+func TestParseStream(t *testing.T) {
+	res, err := parseStream(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ke, ok := res["BenchmarkKernelEvent"]
+	if !ok {
+		t.Fatal("BenchmarkKernelEvent missing despite split output lines")
+	}
+	if ke.Iters != 62343048 || ke.NsOp != 19.29 {
+		t.Errorf("KernelEvent = %+v, want 62343048 iters / 19.29 ns/op", ke)
+	}
+	qt, ok := res["BenchmarkQTableUpdate/float64"]
+	if !ok {
+		t.Fatal("sub-benchmark missing")
+	}
+	if qt.NsOp != 7.943 {
+		t.Errorf("QTableUpdate/float64 = %+v", qt)
+	}
+}
+
+func TestSubBenchmarks(t *testing.T) {
+	res, err := parseStream(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := subBenchmarks(res, "BenchmarkKernelEvent"); len(got) != 1 || got[0] != "BenchmarkKernelEvent" {
+		t.Errorf("top-level: %v", got)
+	}
+	if got := subBenchmarks(res, "BenchmarkQTableUpdate"); len(got) != 1 || got[0] != "BenchmarkQTableUpdate/float64" {
+		t.Errorf("subs: %v", got)
+	}
+	if got := subBenchmarks(res, "BenchmarkMissing"); len(got) != 0 {
+		t.Errorf("missing: %v", got)
+	}
+}
+
+func TestParseStreamRejectsGarbage(t *testing.T) {
+	if _, err := parseStream(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+// fakeBase builds a snapshot with one measurement per gated benchmark (and a
+// sub-benchmark under BenchmarkQTableUpdate) at 100 ns/op.
+func fakeBase() map[string]result {
+	base := make(map[string]result)
+	for _, names := range gated {
+		for _, name := range names {
+			if name == "BenchmarkQTableUpdate" {
+				base[name+"/float64"] = result{Iters: 1000, NsOp: 100}
+				base[name+"/fixedQ8.8"] = result{Iters: 2000, NsOp: 100}
+				continue
+			}
+			base[name] = result{Iters: 500, NsOp: 100}
+		}
+	}
+	return base
+}
+
+// scaledRunner returns the snapshot numbers multiplied by factor, recording
+// how often each benchmark was run and asserting the pinned iteration count
+// is the max across the snapshot's subs.
+func scaledRunner(t *testing.T, base map[string]result, factor float64, runs map[string]int) func(string, string, int) (map[string]result, error) {
+	return func(pkg, name string, iters int) (map[string]result, error) {
+		runs[name]++
+		want := 0
+		out := make(map[string]result)
+		for _, sub := range subBenchmarks(base, name) {
+			if base[sub].Iters > want {
+				want = base[sub].Iters
+			}
+			out[sub] = result{Iters: iters, NsOp: base[sub].NsOp * factor}
+		}
+		if iters != want {
+			t.Errorf("%s: pinned %d iterations, want max-of-subs %d", name, iters, want)
+		}
+		return out, nil
+	}
+}
+
+func TestGatePassesWithinTolerance(t *testing.T) {
+	base := fakeBase()
+	runs := make(map[string]int)
+	var out strings.Builder
+	compared, failed, err := gate(&out, base, 20, scaledRunner(t, base, 1.1, runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("failed = %d with +10%% vs 20%% tolerance\n%s", failed, out.String())
+	}
+	if want := len(fakeBase()); compared != want {
+		t.Errorf("compared = %d, want %d", compared, want)
+	}
+	for name, n := range runs {
+		if n != 1 {
+			t.Errorf("%s run %d times, want 1 (within tolerance on the first run)", name, n)
+		}
+	}
+	if !strings.Contains(out.String(), "ok") || strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+func TestGateFailsAfterThreeSlowRuns(t *testing.T) {
+	base := fakeBase()
+	runs := make(map[string]int)
+	var out strings.Builder
+	compared, failed, err := gate(&out, base, 20, scaledRunner(t, base, 1.5, runs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != compared {
+		t.Errorf("failed = %d of %d with +50%% vs 20%% tolerance\n%s", failed, compared, out.String())
+	}
+	for name, n := range runs {
+		if n != 3 {
+			t.Errorf("%s run %d times, want 3 (best-of-3 before failing)", name, n)
+		}
+	}
+	if !strings.Contains(out.String(), "FAIL") {
+		t.Errorf("report:\n%s", out.String())
+	}
+}
+
+func TestGateRecoversOnRetry(t *testing.T) {
+	// First run slow (transient load), second run clean: the gate must
+	// retry and pass with the second run's numbers.
+	base := fakeBase()
+	calls := make(map[string]int)
+	runner := func(pkg, name string, iters int) (map[string]result, error) {
+		calls[name]++
+		factor := 2.0
+		if calls[name] > 1 {
+			factor = 1.0
+		}
+		out := make(map[string]result)
+		for _, sub := range subBenchmarks(base, name) {
+			out[sub] = result{Iters: iters, NsOp: base[sub].NsOp * factor}
+		}
+		return out, nil
+	}
+	var out strings.Builder
+	_, failed, err := gate(&out, base, 20, runner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Errorf("failed = %d, want 0 after the retry came back clean\n%s", failed, out.String())
+	}
+	for name, n := range calls {
+		if n != 2 {
+			t.Errorf("%s run %d times, want 2", name, n)
+		}
+	}
+}
+
+func TestGateErrorsOnIncompleteSnapshot(t *testing.T) {
+	base := fakeBase()
+	delete(base, "BenchmarkKernelEvent")
+	var out strings.Builder
+	if _, _, err := gate(&out, base, 20, scaledRunner(t, base, 1, make(map[string]int))); err == nil {
+		t.Error("snapshot missing a gated benchmark accepted")
+	}
+}
+
+func TestGateErrorsOnVanishedBenchmark(t *testing.T) {
+	base := fakeBase()
+	runner := func(pkg, name string, iters int) (map[string]result, error) {
+		return map[string]result{}, nil // benchmark no longer in the tree
+	}
+	var out strings.Builder
+	if _, _, err := gate(&out, base, 20, runner); err == nil {
+		t.Error("vanished benchmark accepted")
+	}
+}
+
+func TestGateErrorsOnRunnerFailure(t *testing.T) {
+	base := fakeBase()
+	runner := func(pkg, name string, iters int) (map[string]result, error) {
+		return nil, fmt.Errorf("compile error")
+	}
+	var out strings.Builder
+	if _, _, err := gate(&out, base, 20, runner); err == nil {
+		t.Error("runner failure swallowed")
+	}
+}
+
+func TestNewestSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2026-07-29.json", "BENCH_2026-08-08.json", "other.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := newestSnapshot(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Base(got) != "BENCH_2026-08-08.json" {
+		t.Errorf("newestSnapshot = %s", got)
+	}
+	if _, err := newestSnapshot(t.TempDir()); err == nil {
+		t.Error("empty dir accepted")
+	}
+}
+
+// TestRunBenchmarkRealExec executes one tiny real benchmark through the
+// production exec path (pinned 10 iterations against the repo root package).
+func TestRunBenchmarkRealExec(t *testing.T) {
+	if testing.Short() {
+		t.Skip("execs go test")
+	}
+	// cmd/qma-perfgate runs with its own directory as cwd; the gated
+	// packages are addressed relative to the repo root.
+	if err := os.Chdir("../.."); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir("cmd/qma-perfgate")
+	res, err := runBenchmark(".", "BenchmarkKernelEvent", 10, testing.Verbose())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := res["BenchmarkKernelEvent"]
+	if !ok {
+		t.Fatalf("BenchmarkKernelEvent missing from %v", res)
+	}
+	if got.Iters != 10 || got.NsOp <= 0 {
+		t.Errorf("result = %+v, want 10 pinned iterations and positive ns/op", got)
+	}
+	if _, err := runBenchmark(".", "BenchmarkNoSuchBenchmark", 10, false); err != nil {
+		// go test exits 0 when a -bench pattern matches nothing; either
+		// outcome (empty result or error) is acceptable, just must not hang.
+		t.Logf("no-match run: %v", err)
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	got := sortedKeys(map[string][]string{"b": nil, "a": nil, "c": nil})
+	if strings.Join(got, ",") != "a,b,c" {
+		t.Errorf("sortedKeys = %v", got)
+	}
+}

@@ -74,12 +74,29 @@ type Engine struct {
 	startupInit   int
 	startupPunish bool
 
-	armed    sim.EventID
-	pend     *pending
+	armed sim.EventID
+	// armedAt/armedSubslot remember the boundary the ticker is armed for, so
+	// the per-tick re-arm advances incrementally (Clock.NextBoundary) instead
+	// of re-deriving the position with divisions. armedSubslot is -1 when no
+	// boundary has been derived yet (fresh or rebooted engine).
+	armedAt      sim.Time
+	armedSubslot int
+
+	// pend is the action whose reward window is open; hasPend guards it.
+	// Inlined so a backoff decision costs no allocation.
+	pend     pending
+	hasPend  bool
 	overhear bool
 
-	// epoch counts power-cycle faults (mac.Rebooter). Kernel closures that
-	// outlive a reboot — the CCA completion — capture the epoch they were
+	// In-flight CCA state, inlined for the same reason: a node runs at most
+	// one CCA at a time (it is busy for the whole window and the completion
+	// fires strictly before the next boundary), so the subslot/epoch live in
+	// the engine and the kernel callback is the long-lived engineCCA.
+	ccaSubslot int
+	ccaEpoch   uint32
+
+	// epoch counts power-cycle faults (mac.Rebooter). Kernel callbacks that
+	// outlive a reboot — the CCA completion — record the epoch they were
 	// scheduled under and become no-ops when it has moved on.
 	epoch uint32
 
@@ -90,9 +107,11 @@ type Engine struct {
 	rhoSum   float64
 	rhoCount int
 
-	// actionCounts[s][a] counts executed actions per subslot since the last
-	// ResetActionCounts (Fig. 13–15 slot-utilization instrumentation).
-	actionCounts [][NumActions]uint64
+	// actionCounts[s*NumActions+a] counts executed actions per subslot since
+	// the last ResetActionCounts (Fig. 13–15 slot-utilization
+	// instrumentation). Stored flat so it can live in the run arena next to
+	// the node's Q-table.
+	actionCounts []uint64
 }
 
 var _ mac.Engine = (*Engine)(nil)
@@ -110,13 +129,15 @@ func New(cfg Config) *Engine {
 		panic("core: MAC.Clock is required")
 	}
 	subslots := cfg.MAC.Clock.Config().Subslots
+	scratch := cfg.MAC.Scratch
 	table := cfg.Table
 	if table == nil {
 		p := cfg.Learn
 		if p == (qlearn.Params{}) {
 			p = qlearn.DefaultParams()
 		}
-		table = qlearn.NewFloatTable(subslots, NumActions, p)
+		table = qlearn.NewFloatTableOn(subslots, NumActions, p,
+			scratch.Float64s(subslots*NumActions))
 	}
 	if table.States() != subslots || table.Actions() != NumActions {
 		panic(fmt.Sprintf("core: table dimensions %dx%d, want %dx%d",
@@ -131,13 +152,14 @@ func New(cfg Config) *Engine {
 	}
 
 	e := &Engine{
-		learner:       qlearn.NewLearner(table, int(QBackoff)),
+		learner:       qlearn.NewLearnerOn(table, int(QBackoff), scratch.Ints(subslots)),
 		explorer:      explorer,
 		rng:           cfg.Rng,
 		startupLeft:   cfg.StartupSubslots,
 		startupInit:   cfg.StartupSubslots,
 		startupPunish: cfg.StartupPunish,
-		actionCounts:  make([][NumActions]uint64, subslots),
+		armedSubslot:  -1,
+		actionCounts:  scratch.Uint64s(subslots * NumActions),
 	}
 	e.learner.SetReevalOnDecay(cfg.ReevalOnDecay)
 	cfg.MAC.OnOverhear = e.onOverhear
@@ -189,14 +211,16 @@ func (e *Engine) TakeRhoSample() (mean float64, n int) {
 // ActionCounts returns a copy of the per-subslot action counters (Fig. 13–15
 // slot utilization).
 func (e *Engine) ActionCounts() [][NumActions]uint64 {
-	return append([][NumActions]uint64(nil), e.actionCounts...)
+	out := make([][NumActions]uint64, len(e.actionCounts)/NumActions)
+	for s := range out {
+		copy(out[s][:], e.actionCounts[s*NumActions:(s+1)*NumActions])
+	}
+	return out
 }
 
 // ResetActionCounts clears the per-subslot action counters.
 func (e *Engine) ResetActionCounts() {
-	for i := range e.actionCounts {
-		e.actionCounts[i] = [NumActions]uint64{}
-	}
+	clear(e.actionCounts)
 }
 
 // Reboot implements mac.Rebooter: a power-cycle fault wipes everything a
@@ -210,7 +234,9 @@ func (e *Engine) Reboot() {
 	e.base.Reboot()
 	e.armed.Cancel()
 	e.armed = sim.EventID{}
-	e.pend = nil
+	e.armedAt = 0
+	e.armedSubslot = -1
+	e.hasPend = false
 	e.overhear = false
 	e.startupLeft = e.startupInit
 	e.learner.Reset(int(QBackoff))
@@ -219,27 +245,54 @@ func (e *Engine) Reboot() {
 	e.arm()
 }
 
-// arm schedules the next subslot tick unless one is already scheduled.
+// engineTick and engineCCA are the long-lived kernel callbacks of every QMA
+// engine; per-event context rides in the engine itself, so arming a tick or
+// finishing a CCA performs no allocation.
+func engineTick(a any) { a.(*Engine).tick() }
+func engineCCA(a any)  { a.(*Engine).ccaDone() }
+
+// arm schedules the next subslot tick unless one is already scheduled. When
+// called from the tick itself (now is exactly the armed boundary) the next
+// boundary follows incrementally, with no division.
 func (e *Engine) arm() {
-	if e.armed.Pending() && e.armed.At() > e.base.Kernel().Now() {
+	now := e.base.Kernel().Now()
+	if e.armed.Pending() && e.armed.At() > now {
 		return
 	}
-	next := e.base.Clock().NextSubslotStart(e.base.Kernel().Now())
-	e.armed = e.base.Kernel().At(next, e.tick)
+	var next sim.Time
+	var idx int
+	if now == e.armedAt && e.armedSubslot >= 0 {
+		next, idx = e.base.Clock().NextBoundary(now, e.armedSubslot)
+	} else {
+		next = e.base.Clock().NextSubslotStart(now)
+		idx = e.base.Clock().Subslot(next)
+	}
+	e.armed = e.base.Kernel().AtCall(next, engineTick, e)
+	e.armedAt, e.armedSubslot = next, idx
 }
 
 // needTick reports whether the engine has any reason to observe the next
 // subslot boundary.
 func (e *Engine) needTick() bool {
-	return e.pend != nil || e.startupLeft > 0 || !e.base.Queue().Empty() || e.base.Busy()
+	return e.hasPend || e.startupLeft > 0 || !e.base.Queue().Empty() || e.base.Busy()
 }
 
 // tick runs at every subslot boundary while the engine is active. It first
 // evaluates a pending backoff-type action (QEvaluation in Fig. 2), then
 // makes the next decision (QDecision).
 func (e *Engine) tick() {
+	// The armed bookkeeping usually knows this boundary's subslot index
+	// already, saving the division in Subslot. It cannot be trusted blindly:
+	// an Enqueue arriving at the very instant this tick fires (but before it
+	// runs) re-arms the NEXT boundary and clobbers armedSubslot, so the
+	// cached index is only valid while armedAt still equals now.
 	now := e.base.Kernel().Now()
-	m := e.base.Clock().Subslot(now)
+	var m int
+	if now == e.armedAt && e.armedSubslot >= 0 {
+		m = e.armedSubslot
+	} else {
+		m = e.base.Clock().Subslot(now)
+	}
 	if m < 0 {
 		// Boundary fell outside the CAP (cannot happen with valid subslot
 		// boundaries, but guard against clock misconfiguration).
@@ -247,7 +300,7 @@ func (e *Engine) tick() {
 		return
 	}
 
-	if e.pend != nil {
+	if e.hasPend {
 		e.evaluateBackoff(m)
 	}
 
@@ -283,7 +336,7 @@ func (e *Engine) armIfNeeded() {
 // arrived in.
 func (e *Engine) evaluateBackoff(nextSubslot int) {
 	p := e.pend
-	e.pend = nil
+	e.hasPend = false
 	reward := float64(RewardBackoffIdle)
 	if e.overhear {
 		reward = RewardBackoffOverhear
@@ -302,7 +355,8 @@ func (e *Engine) evaluateBackoff(nextSubslot int) {
 func (e *Engine) startupObserve(m int) {
 	e.startupLeft--
 	e.stats.StartupObservations++
-	e.pend = &pending{subslot: m, action: QBackoff, startup: true}
+	e.pend = pending{subslot: m, action: QBackoff, startup: true}
+	e.hasPend = true
 	e.overhear = false
 }
 
@@ -330,10 +384,11 @@ func (e *Engine) decide(m int) {
 // execute performs the selected action.
 func (e *Engine) execute(m int, action Action) {
 	e.stats.ActionCount[action]++
-	e.actionCounts[m][action]++
+	e.actionCounts[m*NumActions+int(action)]++
 	switch action {
 	case QBackoff:
-		e.pend = &pending{subslot: m, action: QBackoff}
+		e.pend = pending{subslot: m, action: QBackoff}
+		e.hasPend = true
 		e.overhear = false
 	case QCCA:
 		e.startCCA(m)
@@ -343,26 +398,32 @@ func (e *Engine) execute(m int, action Action) {
 }
 
 // startCCA samples the channel at the end of the 8-symbol CCA window, so
-// that a QSend started at the same boundary is visible to it.
+// that a QSend started at the same boundary is visible to it. At most one
+// CCA is in flight per node (the node is busy for the window), so its
+// context lives inline in the engine.
 func (e *Engine) startCCA(m int) {
 	now := e.base.Kernel().Now()
 	e.base.ExtendBusy(now + frame.CCADuration)
-	ep := e.epoch
-	e.base.Kernel().Schedule(frame.CCADuration, func() {
-		if e.epoch != ep {
-			// A reboot fault struck mid-CCA; the continuation belongs to the
-			// previous life of this node.
-			return
-		}
-		if !e.base.Medium().CCA(e.base.ID()) {
-			// Channel busy: reward 1 and back off to the next subslot
-			// (Eq. 7, the QCCA(fail) edge of Fig. 3).
-			next := e.nextDecisionSubslot()
-			e.learner.Observe(m, int(QCCA), RewardCCABusy, next)
-			return
-		}
-		e.startTX(m, QCCA)
-	})
+	e.ccaSubslot = m
+	e.ccaEpoch = e.epoch
+	e.base.Kernel().AtCall(now+frame.CCADuration, engineCCA, e)
+}
+
+// ccaDone completes the CCA window armed by startCCA.
+func (e *Engine) ccaDone() {
+	if e.epoch != e.ccaEpoch {
+		// A reboot fault struck mid-CCA; the continuation belongs to the
+		// previous life of this node.
+		return
+	}
+	if !e.base.Medium().CCA(e.base.ID()) {
+		// Channel busy: reward 1 and back off to the next subslot
+		// (Eq. 7, the QCCA(fail) edge of Fig. 3).
+		next := e.nextDecisionSubslot()
+		e.learner.Observe(e.ccaSubslot, int(QCCA), RewardCCABusy, next)
+		return
+	}
+	e.startTX(e.ccaSubslot, QCCA)
 }
 
 // startTX transmits the queue head (for QCCA the CCA window has already
@@ -386,6 +447,12 @@ func (e *Engine) startTX(m int, action Action) {
 		e.stats.Deferrals++
 		return
 	}
+	// The outcome callback keeps a per-transmission closure: when a
+	// transmission ends exactly on a subslot boundary whose tick precedes the
+	// completion event, the engine can start the next transaction before the
+	// previous outcome fires, so the (m, action, f) context must be frozen
+	// per call. Transmissions are orders of magnitude rarer than ticks — the
+	// allocation is off the hot path.
 	e.base.SendFrame(f, func(success bool) {
 		e.finishTX(m, action, f, success)
 	})
@@ -427,7 +494,7 @@ func (e *Engine) onOverhear(f *frame.Frame) {
 	if f.Kind == frame.Beacon {
 		return
 	}
-	if e.pend != nil {
+	if e.hasPend {
 		e.overhear = true
 	}
 }

@@ -116,13 +116,17 @@ func NewFromOptions(opts Options, macCfg mac.Config, rng *sim.Rand) *Engine {
 	if learn == (qlearn.Params{}) {
 		learn = qlearn.DefaultParams()
 	}
+	scratch := macCfg.Scratch
 	switch opts.Table {
 	case TableFixed:
-		table = qlearn.NewFixedTable(subslots, NumActions, qlearn.DefaultFixedParams())
+		table = qlearn.NewFixedTableOn(subslots, NumActions, qlearn.DefaultFixedParams(),
+			scratch.Int16s(subslots*NumActions))
 	case TableQuant:
-		table = qlearn.NewQuantTable(subslots, NumActions, qlearn.DefaultQuantParams())
+		table = qlearn.NewQuantTableOn(subslots, NumActions, qlearn.DefaultQuantParams(),
+			scratch.Int8s(subslots*NumActions))
 	default:
-		table = qlearn.NewFloatTable(subslots, NumActions, learn)
+		table = qlearn.NewFloatTableOn(subslots, NumActions, learn,
+			scratch.Float64s(subslots*NumActions))
 	}
 	startup := opts.StartupSubslots
 	switch {

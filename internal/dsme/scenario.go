@@ -61,6 +61,10 @@ type ScenarioConfig struct {
 	WallBudget  time.Duration
 	// InvariantChecks arms the kernel and medium runtime self-checks.
 	InvariantChecks bool
+	// Arena, when non-nil, recycles the run's frame pool and per-node
+	// hot-state slab across back-to-back runs of one worker (see
+	// scenario.Config.Arena). Results are byte-identical with or without it.
+	Arena *scenario.Arena
 }
 
 // ScenarioResult carries the §6.3 metrics.
@@ -114,6 +118,10 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 	}
 	metrics := &Metrics{}
 	pool := &frame.Pool{}
+	scratch := &mac.Scratch{}
+	if cfg.Arena != nil {
+		pool, scratch = cfg.Arena.Begin()
+	}
 
 	n := cfg.Network.NumNodes()
 	nodes := make([]*Node, n)
@@ -145,6 +153,7 @@ func RunScenario(cfg ScenarioConfig) *ScenarioResult {
 			Clock:      clock,
 			OnCommand:  node.CommandHook(),
 			FramePool:  pool,
+			Scratch:    scratch,
 			BarringRng: barringRng,
 		}, sim.NewRandStream(cfg.Seed, uint64(i)))
 		node.AttachCAP(engine)

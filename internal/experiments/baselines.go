@@ -8,7 +8,6 @@ import (
 	"qma/internal/mac"
 	"qma/internal/scenario"
 	"qma/internal/sim"
-	"qma/internal/stats"
 	"qma/internal/superframe"
 	"qma/internal/topo"
 	"qma/internal/traffic"
@@ -97,10 +96,11 @@ func RunBaselines(mode Mode) []*Table {
 
 	// One grid cell per (topology, protocol) pair; the whole family shares
 	// one worker pool.
-	est, repErrs := stats.ReplicateGrid(len(cases)*len(macs), mode.Reps, mode.Parallel,
-		func(cell int, seed uint64) map[string]float64 {
+	est, repErrs := runGrid(len(cases)*len(macs), mode.Reps, mode.Parallel,
+		func(arena *scenario.Arena, cell int, seed uint64) map[string]float64 {
 			c, mk := cases[cell/len(macs)], macs[cell%len(macs)]
 			cfg := baselineConfig(c, mk, mode, seed)
+			cfg.Arena = arena
 			res := scenario.Run(cfg)
 			capOn := sim.Time(float64(cfg.Duration) * capDuty)
 			var attempts, mj, delivered float64

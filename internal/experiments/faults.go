@@ -9,7 +9,6 @@ import (
 	"qma/internal/frame"
 	"qma/internal/scenario"
 	"qma/internal/sim"
-	"qma/internal/stats"
 	"qma/internal/topo"
 	"qma/internal/traffic"
 )
@@ -74,7 +73,7 @@ func (d *dynTrace) windowPDR(from, until sim.Time) float64 {
 // senders can neither deliver nor stay synchronized. Everything they
 // generate during the window is lost or queued; the metrics capture how fast
 // each MAC drains the backlog once the sink returns.
-func sinkOutageCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 {
+func sinkOutageCase(arena *scenario.Arena, mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 {
 	warmup := mode.Warmup
 	at := warmup + 80*sim.Second
 	const dur = 5 * sim.Second
@@ -85,6 +84,7 @@ func sinkOutageCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]floa
 	}
 	trace := newDynTrace(duration)
 	cfg.OnEvalGenerate, cfg.OnEvalDeliver = trace.hooks()
+	cfg.Arena = arena
 	res := scenario.Run(cfg)
 	m := trace.analyze(warmup, at, at+dur, duration)
 	var suppressed float64
@@ -102,7 +102,7 @@ func sinkOutageCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]floa
 // state vanish and it re-enters cautious startup. The lost/recovery columns
 // are the relearning cost — for the memoryless baselines the reboot only
 // drops the queue.
-func rebootCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 {
+func rebootCase(arena *scenario.Arena, mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 {
 	warmup := mode.Warmup
 	at := warmup + 80*sim.Second
 	duration := at + 60*sim.Second
@@ -110,6 +110,7 @@ func rebootCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 
 	cfg.Faults = faults.Schedule{Reboots: []faults.Reboot{{Node: 0, At: at}}}
 	trace := newDynTrace(duration)
 	cfg.OnEvalGenerate, cfg.OnEvalDeliver = trace.hooks()
+	cfg.Arena = arena
 	scenario.Run(cfg)
 	// The disturbance is instantaneous: recovery is measured from the reboot.
 	m := trace.analyze(warmup, at, at, duration)
@@ -121,7 +122,7 @@ func rebootCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 
 // ackCorruptionCase corrupts every ACK on the air for 5 s: data still gets
 // through, but every transmitter sees timeouts, retries and (for the
 // learners) punishments for subslots that did nothing wrong.
-func ackCorruptionCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 {
+func ackCorruptionCase(arena *scenario.Arena, mk scenario.MACKind, mode Mode, seed uint64) map[string]float64 {
 	warmup := mode.Warmup
 	at := warmup + 80*sim.Second
 	const dur = 5 * sim.Second
@@ -130,6 +131,7 @@ func ackCorruptionCase(mk scenario.MACKind, mode Mode, seed uint64) map[string]f
 	cfg.Faults = faults.Schedule{AckCorruption: []faults.Window{{At: at, Duration: dur}}}
 	trace := newDynTrace(duration)
 	cfg.OnEvalGenerate, cfg.OnEvalDeliver = trace.hooks()
+	cfg.Arena = arena
 	res := scenario.Run(cfg)
 	m := trace.analyze(warmup, at, at+dur, duration)
 	var corrupted float64
@@ -166,16 +168,16 @@ func RunFaults(mode Mode) []*Table {
 
 	// Cell layout: per MAC, three independent fault runs sharded over one pool.
 	const cases = 3
-	ests, repErrs := stats.ReplicateGrid(len(macs)*cases, mode.Reps, mode.Parallel,
-		func(cell int, seed uint64) map[string]float64 {
+	ests, repErrs := runGrid(len(macs)*cases, mode.Reps, mode.Parallel,
+		func(arena *scenario.Arena, cell int, seed uint64) map[string]float64 {
 			mk := macs[cell/cases]
 			switch cell % cases {
 			case 0:
-				return sinkOutageCase(mk, mode, seed)
+				return sinkOutageCase(arena, mk, mode, seed)
 			case 1:
-				return rebootCase(mk, mode, seed)
+				return rebootCase(arena, mk, mode, seed)
 			default:
-				return ackCorruptionCase(mk, mode, seed)
+				return ackCorruptionCase(arena, mk, mode, seed)
 			}
 		})
 	for mi, mk := range macs {

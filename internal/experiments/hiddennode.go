@@ -73,10 +73,12 @@ func RunHiddenNodeSweep(mode Mode) []*Table {
 	// pool instead of parallelizing only within a point's few replications.
 	deltas := sweepDeltas(mode)
 	macs := sweepMACs()
-	est, repErrs := stats.ReplicateGrid(len(deltas)*len(macs), mode.Reps, mode.Parallel,
-		func(cell int, seed uint64) map[string]float64 {
+	est, repErrs := runGrid(len(deltas)*len(macs), mode.Reps, mode.Parallel,
+		func(arena *scenario.Arena, cell int, seed uint64) map[string]float64 {
 			delta, mk := deltas[cell/len(macs)], macs[cell%len(macs)]
-			res := scenario.Run(hiddenNodeConfig(mk, delta, mode, seed))
+			cfg := hiddenNodeConfig(mk, delta, mode, seed)
+			cfg.Arena = arena
+			res := scenario.Run(cfg)
 			return map[string]float64{
 				"pdr":   res.NetworkPDR(),
 				"queue": res.MeanQueueLevel(0, 2),

@@ -113,8 +113,9 @@ func jainIndex(xs []float64) float64 {
 
 // runOverloadCell executes one (topology, protocol, barring, mult) run and
 // condenses it into the family's metrics.
-func runOverloadCell(c overloadCase, mk scenario.MACKind, bar barring.Config, mult float64, mode Mode, seed uint64) map[string]float64 {
+func runOverloadCell(arena *scenario.Arena, c overloadCase, mk scenario.MACKind, bar barring.Config, mult float64, mode Mode, seed uint64) map[string]float64 {
 	cfg := overloadConfig(c, mk, bar, mult, mode, seed)
+	cfg.Arena = arena
 	trace := newDynTrace(cfg.Duration)
 	cfg.OnEvalGenerate, cfg.OnEvalDeliver = trace.hooks()
 	res := scenario.Run(cfg)
@@ -166,11 +167,11 @@ func RunOverload(mode Mode) []*Table {
 			}
 		}
 	}
-	ests, repErrs := stats.ReplicateGrid(len(cells), mode.Reps, mode.Parallel,
-		func(cell int, seed uint64) map[string]float64 {
+	ests, repErrs := runGrid(len(cells), mode.Reps, mode.Parallel,
+		func(arena *scenario.Arena, cell int, seed uint64) map[string]float64 {
 			cl := cells[cell]
 			c := cases[cl.caseIdx]
-			return runOverloadCell(c, macs[cl.macIdx], bars[cl.barIdx].cfg, c.mults[cl.multIdx], mode, seed)
+			return runOverloadCell(arena, c, macs[cl.macIdx], bars[cl.barIdx].cfg, c.mults[cl.multIdx], mode, seed)
 		})
 	at := func(cl overloadCell) map[string]stats.Estimate {
 		for i, c := range cells {

@@ -25,6 +25,19 @@ func NewQueue(capacity int) *Queue {
 	return &Queue{items: make([]*Frame, 0, capacity), cap: capacity}
 }
 
+// NewQueueOn is NewQueue using buf as the item storage (a slab slice from a
+// run arena). buf must hold at least capacity+1 elements — PushFront may
+// momentarily exceed the bound — and must not be shared with another queue.
+func NewQueueOn(capacity int, buf []*Frame) *Queue {
+	if capacity <= 0 {
+		capacity = DefaultQueueCap
+	}
+	if len(buf) < capacity+1 {
+		return NewQueue(capacity)
+	}
+	return &Queue{items: buf[:0], cap: capacity}
+}
+
 // Cap reports the maximum number of frames the queue holds.
 func (q *Queue) Cap() int { return q.cap }
 

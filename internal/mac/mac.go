@@ -179,6 +179,13 @@ type Config struct {
 	// retries, or dropped by CSMA backoff exhaustion). All engines of one
 	// kernel may share a pool; it must not cross kernels.
 	FramePool *frame.Pool
+	// Scratch, when non-nil, slab-allocates this node's hot state (transmit
+	// queue buffer, and — via the engines — Q-table, policy and action
+	// counters) from a shared per-run arena, so the state of neighbouring
+	// nodes is contiguous in memory. All engines of one kernel share one
+	// Scratch; it must not cross kernels, and a run arena may be rewound
+	// (Scratch.Reset) only after every engine of the previous run is dropped.
+	Scratch *Scratch
 	// BarringRng drives the node's access-class barring draws
 	// (internal/barring). It must be a deterministic stream private to this
 	// node. nil — the default — disables the barring gate entirely:
@@ -198,13 +205,6 @@ type neighborLevel struct {
 	at    sim.Time
 }
 
-type pendingAck struct {
-	from  frame.NodeID
-	seq   uint32
-	timer sim.EventID
-	cb    func(success bool)
-}
-
 // Base is the shared MAC state machine. It is bound to one kernel and not
 // safe for concurrent use.
 type Base struct {
@@ -218,7 +218,14 @@ type Base struct {
 	// not start new activity before it passes.
 	busyUntil sim.Time
 
-	waiting *pendingAck
+	// The pending ACK wait, inlined: a node has at most one unicast in
+	// flight, so the state lives directly in the Base instead of a
+	// per-transmission allocation. waiting guards the other four fields.
+	waiting   bool
+	waitFrom  frame.NodeID
+	waitSeq   uint32
+	waitTimer sim.EventID
+	waitCb    func(success bool)
 
 	// txDone is the pending broadcast-completion event. A node transmits at
 	// most one frame at a time, so a single handle suffices; Reboot cancels
@@ -267,9 +274,11 @@ type Base struct {
 
 	// ackStartFn/ackDoneFn are long-lived callbacks for the immediate-ACK
 	// path, scheduled via Kernel.AtCall so acknowledging costs no closure
-	// allocations.
-	ackStartFn func(any)
-	ackDoneFn  func(any)
+	// allocations. ackTimeoutFn plays the same role for the unicast ACK-wait
+	// deadline.
+	ackStartFn   func(any)
+	ackDoneFn    func(any)
+	ackTimeoutFn func(any)
 }
 
 // NewBase validates cfg and returns a Base.
@@ -286,9 +295,13 @@ func NewBase(cfg Config) *Base {
 	if cfg.DropDeadline <= 0 {
 		cfg.DropDeadline = 16 * cfg.Clock.Config().SuperframeDuration()
 	}
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = frame.DefaultQueueCap
+	}
 	b := &Base{
 		cfg:           cfg,
-		queue:         frame.NewQueue(cfg.QueueCap),
+		queue:         frame.NewQueueOn(qcap, cfg.Scratch.Frames(qcap+1)),
 		barP:          1,
 		neighborQueue: make(map[frame.NodeID]neighborLevel),
 		lastSeq:       make(map[frame.NodeID]uint32),
@@ -296,6 +309,7 @@ func NewBase(cfg Config) *Base {
 	}
 	b.ackStartFn = func(a any) { b.transmitAck(a.(*frame.Frame)) }
 	b.ackDoneFn = func(a any) { b.cfg.FramePool.Put(a.(*frame.Frame)) }
+	b.ackTimeoutFn = func(a any) { a.(*Base).ackTimeout() }
 	return b
 }
 
@@ -450,9 +464,10 @@ type Rebooter interface {
 // which is the price of a mid-transaction power cycle, not a steady-state
 // cost.
 func (b *Base) Reboot() {
-	if b.waiting != nil {
-		b.waiting.timer.Cancel()
-		b.waiting = nil
+	if b.waiting {
+		b.waitTimer.Cancel()
+		b.waiting = false
+		b.waitCb = nil
 	}
 	b.txDone.Cancel()
 	b.txDone = sim.EventID{}
@@ -596,7 +611,7 @@ func (b *Base) SendFrame(f *frame.Frame, cb func(success bool)) sim.Time {
 // the level per transmission; the returning ACK is always sent at reference
 // power by the receiver's own Base.
 func (b *Base) SendFrameAt(f *frame.Frame, reduceDB float64, cb func(success bool)) sim.Time {
-	if b.waiting != nil {
+	if b.waiting {
 		panic(fmt.Sprintf("mac: node %d sends while awaiting an ACK", b.cfg.ID))
 	}
 	ql := b.queue.Len()
@@ -612,6 +627,11 @@ func (b *Base) SendFrameAt(f *frame.Frame, reduceDB float64, cb func(success boo
 	txEnd := b.cfg.Medium.StartTX(b.cfg.ID, f, reduceDB)
 	if f.IsBroadcast() {
 		b.ExtendBusy(txEnd)
+		// Broadcast completions keep a per-call closure: a node may start its
+		// next transmission at the very instant a broadcast ends (the tick
+		// fires first at that boundary), so the callback context must be
+		// frozen per transmission. Broadcasts are rare (beacons, GTS control)
+		// — the allocation is off the hot path.
 		b.txDone = b.cfg.Kernel.At(txEnd, func() {
 			b.stats.TxSuccess++
 			cb(true)
@@ -620,14 +640,19 @@ func (b *Base) SendFrameAt(f *frame.Frame, reduceDB float64, cb func(success boo
 	}
 	deadline := txEnd + frame.AckWait
 	b.ExtendBusy(deadline)
-	w := &pendingAck{from: f.Dst, seq: f.Seq, cb: cb}
-	w.timer = b.cfg.Kernel.At(deadline, func() {
-		b.waiting = nil
-		b.stats.TxFail++
-		cb(false)
-	})
-	b.waiting = w
+	b.waiting = true
+	b.waitFrom, b.waitSeq, b.waitCb = f.Dst, f.Seq, cb
+	b.waitTimer = b.cfg.Kernel.AtCall(deadline, b.ackTimeoutFn, b)
 	return deadline
+}
+
+// ackTimeout fires when a unicast's ACK-wait deadline passes unanswered.
+func (b *Base) ackTimeout() {
+	cb := b.waitCb
+	b.waiting = false
+	b.waitCb = nil
+	b.stats.TxFail++
+	cb(false)
 }
 
 // suppressTX mimics the exact timing of a transmission whose frame reached
@@ -648,13 +673,9 @@ func (b *Base) suppressTX(f *frame.Frame, cb func(success bool)) sim.Time {
 	}
 	deadline := txEnd + frame.AckWait
 	b.ExtendBusy(deadline)
-	w := &pendingAck{from: f.Dst, seq: f.Seq, cb: cb}
-	w.timer = b.cfg.Kernel.At(deadline, func() {
-		b.waiting = nil
-		b.stats.TxFail++
-		cb(false)
-	})
-	b.waiting = w
+	b.waiting = true
+	b.waitFrom, b.waitSeq, b.waitCb = f.Dst, f.Seq, cb
+	b.waitTimer = b.cfg.Kernel.AtCall(deadline, b.ackTimeoutFn, b)
 	return deadline
 }
 
@@ -744,14 +765,15 @@ func (b *Base) Deliver(f *frame.Frame) {
 }
 
 func (b *Base) handleAck(f *frame.Frame) {
-	w := b.waiting
-	if w == nil || w.from != f.Src || w.seq != f.Seq {
+	if !b.waiting || b.waitFrom != f.Src || b.waitSeq != f.Seq {
 		return
 	}
-	b.waiting = nil
-	w.timer.Cancel()
+	cb := b.waitCb
+	b.waiting = false
+	b.waitCb = nil
+	b.waitTimer.Cancel()
 	b.stats.TxSuccess++
-	w.cb(true)
+	cb(true)
 }
 
 func (b *Base) handleUnicast(f *frame.Frame) {

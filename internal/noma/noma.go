@@ -231,7 +231,8 @@ func New(cfg Config) *Engine {
 		if p == (qlearn.Params{}) {
 			p = qlearn.DefaultParams()
 		}
-		table = qlearn.NewFloatTable(subslots, actions, p)
+		table = qlearn.NewFloatTableOn(subslots, actions, p,
+			cfg.MAC.Scratch.Float64s(subslots*actions))
 	}
 	if table.States() != subslots || table.Actions() != actions {
 		panic(fmt.Sprintf("noma: table dimensions %dx%d, want %dx%d",
@@ -246,7 +247,7 @@ func New(cfg Config) *Engine {
 	}
 
 	e := &Engine{
-		learner:       qlearn.NewLearner(table, e0BackoffAction),
+		learner:       qlearn.NewLearnerOn(table, e0BackoffAction, cfg.MAC.Scratch.Ints(subslots)),
 		explorer:      explorer,
 		rng:           cfg.Rng,
 		levels:        cfg.Levels,

@@ -1,6 +1,9 @@
 package qlearn
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+)
 
 // Fixed-point Q8.8 arithmetic for the paper's embedded target (§3.2): the
 // FIT IoT-LAB M3 nodes carry a Cortex-M3 without a floating-point unit, so
@@ -67,13 +70,24 @@ var _ Table = (*FixedTable)(nil)
 // NewFixedTable returns a states × actions Q8.8 table initialized to
 // p.InitQ. It panics on invalid parameters or non-positive dimensions.
 func NewFixedTable(states, actions int, p FixedParams) *FixedTable {
+	return NewFixedTableOn(states, actions, p, nil)
+}
+
+// NewFixedTableOn is NewFixedTable placing the values in backing, which must
+// hold exactly states × actions elements. nil backing allocates privately.
+func NewFixedTableOn(states, actions int, p FixedParams, backing []int16) *FixedTable {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	if states <= 0 || actions <= 0 {
 		panic(fmt.Sprintf("qlearn: table dimensions %dx%d", states, actions))
 	}
-	t := &FixedTable{p: p, states: states, actions: actions, q: make([]int16, states*actions)}
+	if backing == nil {
+		backing = make([]int16, states*actions)
+	} else if len(backing) != states*actions {
+		panic(fmt.Sprintf("qlearn: backing holds %d values, want %d", len(backing), states*actions))
+	}
+	t := &FixedTable{p: p, states: states, actions: actions, q: backing}
 	t.Reset()
 	return t
 }
@@ -98,9 +112,29 @@ func (t *FixedTable) Q(s, a int) float64 {
 }
 
 // SetQ implements Table; v is rounded to the nearest Q8.8 value and
-// saturated.
+// saturated. Non-finite inputs saturate deterministically: +Inf to the
+// largest representable value, −Inf to the smallest, NaN to zero.
 func (t *FixedTable) SetQ(s, a int, v float64) {
-	t.q[t.idx(s, a)] = saturate16(int32(roundHalfAway(v * FixedOne)))
+	t.q[t.idx(s, a)] = saturate16(int64(quantize(v, FixedOne)))
+}
+
+// quantize rounds v·scale half-away-from-zero into an int32. Converting a
+// non-finite (or out-of-range) float64 to an integer is implementation-
+// defined in Go, so the non-finite and overflowing cases are pinned here
+// before any conversion: NaN → 0, +Inf and huge positives → MaxInt32, −Inf
+// and huge negatives → MinInt32. Callers saturate the result to their
+// storage width, which turns MaxInt32/MinInt32 into their own bounds.
+func quantize(v, scale float64) int32 {
+	v *= scale
+	switch {
+	case math.IsNaN(v):
+		return 0
+	case v >= math.MaxInt32:
+		return math.MaxInt32
+	case v <= math.MinInt32:
+		return math.MinInt32
+	}
+	return int32(roundHalfAway(v))
 }
 
 func roundHalfAway(v float64) float64 {
@@ -110,7 +144,7 @@ func roundHalfAway(v float64) float64 {
 	return float64(int64(v - 0.5))
 }
 
-func saturate16(v int32) int16 {
+func saturate16(v int64) int16 {
 	if v > fixedMax {
 		return fixedMax
 	}
@@ -149,14 +183,16 @@ func (t *FixedTable) ArgMax(s int) int {
 // Update implements Table using only integer arithmetic: one widening
 // multiplication for γ·maxQ(next), two arithmetic shifts for α, and
 // additions. Arithmetic right shifts round toward −∞, matching what a
-// Cortex-M3 ASR instruction produces.
+// Cortex-M3 ASR instruction produces. The accumulation is carried in int64
+// so even a reward saturated by quantize cannot wrap before the final
+// int16 saturation.
 func (t *FixedTable) Update(s, a int, r float64, next int) (float64, bool) {
-	old := int32(t.q[t.idx(s, a)])
-	rQ := int32(roundHalfAway(r * FixedOne))
-	target := rQ + int32((int64(t.p.GammaNum)*int64(t.maxRaw(next)))>>8)
+	old := int64(t.q[t.idx(s, a)])
+	rQ := int64(quantize(r, FixedOne))
+	target := rQ + (int64(t.p.GammaNum)*int64(t.maxRaw(next)))>>8
 	// (1−α)·old + α·target with α = 2^-shift: old − (old>>shift) + (target>>shift).
 	newV := old - (old >> t.p.AlphaShift) + (target >> t.p.AlphaShift)
-	stored := old - t.p.Xi
+	stored := old - int64(t.p.Xi)
 	if newV > stored {
 		stored = newV
 	}
@@ -167,7 +203,7 @@ func (t *FixedTable) Update(s, a int, r float64, next int) (float64, bool) {
 
 // Reset implements Table.
 func (t *FixedTable) Reset() {
-	init := saturate16(t.p.InitQ)
+	init := saturate16(int64(t.p.InitQ))
 	for i := range t.q {
 		t.q[i] = init
 	}

@@ -23,10 +23,21 @@ type Learner struct {
 // defaultAction in every state (QMA initializes π(mt) to QBackoff,
 // Algorithm 1).
 func NewLearner(table Table, defaultAction int) *Learner {
+	return NewLearnerOn(table, defaultAction, nil)
+}
+
+// NewLearnerOn is NewLearner placing the policy table in backing, which must
+// hold exactly table.States() elements. nil backing allocates privately.
+func NewLearnerOn(table Table, defaultAction int, backing []int) *Learner {
 	if defaultAction < 0 || defaultAction >= table.Actions() {
 		panic(fmt.Sprintf("qlearn: default action %d out of range [0,%d)", defaultAction, table.Actions()))
 	}
-	l := &Learner{table: table, policy: make([]int, table.States())}
+	if backing == nil {
+		backing = make([]int, table.States())
+	} else if len(backing) != table.States() {
+		panic(fmt.Sprintf("qlearn: policy backing holds %d entries, want %d", len(backing), table.States()))
+	}
+	l := &Learner{table: table, policy: backing}
 	for s := range l.policy {
 		l.policy[s] = defaultAction
 	}

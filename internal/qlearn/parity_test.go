@@ -1,0 +1,248 @@
+package qlearn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// This file pins two contracts across the three Table implementations:
+//
+//   - Non-finite inputs (NaN, ±Inf) saturate deterministically instead of
+//     going through Go's implementation-defined float→int conversion.
+//   - The Eq. 3 "improved" flag means the same thing everywhere: the newly
+//     computed value strictly exceeded the previously stored one. FloatTable
+//     returns stored > old and the integer tables return newV > old; the
+//     property tests below prove the formulations coincide (exactly in
+//     float, and up to the storage rails in fixed/quant).
+
+func TestFixedSetQNonFinite(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int16
+	}{
+		{math.NaN(), 0},
+		{math.Inf(1), fixedMax},
+		{math.Inf(-1), fixedMin},
+		{1e12, fixedMax}, // finite but far past int16: must clamp, not wrap
+		{-1e12, fixedMin},
+		{200, fixedMax}, // 200·256 = 51200 > 32767
+		{-200, fixedMin},
+		{1.5, 384},
+		{-1.5, -384},
+	}
+	for _, tc := range cases {
+		tab := NewFixedTable(2, 2, DefaultFixedParams())
+		tab.SetQ(0, 0, tc.in)
+		if got := tab.Raw(0, 0); got != tc.want {
+			t.Errorf("FixedTable.SetQ(%v): raw %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestQuantSetQNonFinite(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want int8
+	}{
+		{math.NaN(), 0},
+		{math.Inf(1), quantMax},
+		{math.Inf(-1), quantMin},
+		{1e12, quantMax},
+		{-1e12, quantMin},
+		{100, quantMax}, // 100·4 = 400 > 127
+		{-100, quantMin},
+		{1.25, 5},
+		{-1.25, -5},
+	}
+	for _, tc := range cases {
+		tab := NewQuantTable(2, 2, DefaultQuantParams())
+		tab.SetQ(0, 0, tc.in)
+		if got := tab.Raw(0, 0); got != tc.want {
+			t.Errorf("QuantTable.SetQ(%v): raw %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// TestUpdateNonFiniteRewardDeterministic drives Update with non-finite
+// rewards and checks the outcome is the documented saturation, twice, on
+// independent tables — deterministic by value, not by accident.
+func TestUpdateNonFiniteRewardDeterministic(t *testing.T) {
+	for name, r := range map[string]float64{"nan": math.NaN(), "+inf": math.Inf(1), "-inf": math.Inf(-1)} {
+		var raws [2]int16
+		for i := range raws {
+			tab := NewFixedTable(2, 2, DefaultFixedParams())
+			tab.Update(0, 0, r, 1)
+			raws[i] = tab.Raw(0, 0)
+		}
+		if raws[0] != raws[1] {
+			t.Errorf("fixed reward %s: two identical updates stored %d and %d", name, raws[0], raws[1])
+		}
+		var raws8 [2]int8
+		for i := range raws8 {
+			tab := NewQuantTable(2, 2, DefaultQuantParams())
+			tab.Update(0, 0, r, 1)
+			raws8[i] = tab.Raw(0, 0)
+		}
+		if raws8[0] != raws8[1] {
+			t.Errorf("quant reward %s: two identical updates stored %d and %d", name, raws8[0], raws8[1])
+		}
+	}
+	// +Inf reward must drive the value to the positive rail, −Inf to the
+	// negative one, and NaN must act as reward 0 (quantize maps it there).
+	tab := NewFixedTable(2, 2, DefaultFixedParams())
+	tab.Update(0, 0, math.Inf(1), 1)
+	if tab.Raw(0, 0) != fixedMax {
+		t.Errorf("fixed +Inf reward: raw %d, want %d", tab.Raw(0, 0), fixedMax)
+	}
+	// A −Inf reward does NOT slam the value to the negative rail: the QMA
+	// rule floors every decrease at old−ξ (Eq. 5), so the stored value
+	// decays by exactly ξ.
+	tab = NewFixedTable(2, 2, DefaultFixedParams())
+	p := DefaultFixedParams()
+	tab.Update(0, 0, math.Inf(-1), 1)
+	if want := saturate16(int64(p.InitQ - p.Xi)); tab.Raw(0, 0) != want {
+		t.Errorf("fixed -Inf reward: raw %d, want old-ξ = %d", tab.Raw(0, 0), want)
+	}
+	nanTab := NewFixedTable(2, 2, DefaultFixedParams())
+	zeroTab := NewFixedTable(2, 2, DefaultFixedParams())
+	nanTab.Update(0, 0, math.NaN(), 1)
+	zeroTab.Update(0, 0, 0, 1)
+	if nanTab.Raw(0, 0) != zeroTab.Raw(0, 0) {
+		t.Errorf("fixed NaN reward stored %d, want the reward-0 result %d", nanTab.Raw(0, 0), zeroTab.Raw(0, 0))
+	}
+}
+
+// TestFloatImprovedFlagEquivalence proves, over random update streams for
+// every rule/ξ combination, that FloatTable's stored > old formulation of
+// the Eq. 3 improved flag coincides with the newV > old formulation the
+// integer tables use. The key case is RuleQMA: stored = max(newV, old−ξ)
+// with ξ ≥ 0, so stored > old exactly when newV > old.
+func TestFloatImprovedFlagEquivalence(t *testing.T) {
+	type combo struct {
+		rule UpdateRule
+		xi   float64
+	}
+	combos := []combo{
+		{RuleStandard, 0}, {RuleStandard, 2},
+		{RuleOptimistic, 0}, {RuleOptimistic, 2},
+		{RuleQMA, 0}, {RuleQMA, 0.5}, {RuleQMA, 2},
+	}
+	rng := rand.New(rand.NewSource(7))
+	for _, c := range combos {
+		p := Params{Alpha: 0.5, Gamma: 0.9, Xi: c.xi, InitQ: -10, Rule: c.rule}
+		tab := NewFloatTable(8, 3, p)
+		for step := 0; step < 5000; step++ {
+			s, a, next := rng.Intn(8), rng.Intn(3), rng.Intn(8)
+			r := float64(rng.Intn(9) - 4)
+			old := tab.Q(s, a)
+			target := r + p.Gamma*tab.MaxQ(next)
+			var newV float64
+			switch c.rule {
+			case RuleStandard, RuleQMA:
+				newV = (1-p.Alpha)*old + p.Alpha*target
+			case RuleOptimistic:
+				newV = target
+			}
+			stored, improved := tab.Update(s, a, r, next)
+			if improved != (newV > old) {
+				t.Fatalf("rule=%v xi=%v step %d: improved=%v but newV>old=%v (old=%v newV=%v)",
+					c.rule, c.xi, step, improved, newV > old, old, newV)
+			}
+			if improved != (stored > old) {
+				t.Fatalf("rule=%v xi=%v step %d: improved=%v but stored>old=%v (old=%v stored=%v)",
+					c.rule, c.xi, step, improved, stored > old, old, stored)
+			}
+		}
+	}
+}
+
+// TestIntegerImprovedFlagMatchesPreSaturation recomputes each integer
+// update externally and checks the tables' improved flag is exactly
+// newV > old — and that it can disagree with the float formulation
+// (storedSat > old) only when saturation clamped the stored value at a
+// rail, where a spuriously-true flag merely triggers a harmless policy
+// re-scan in Learner.Observe.
+func TestIntegerImprovedFlagMatchesPreSaturation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	fp := DefaultFixedParams()
+	ft := NewFixedTable(8, 3, fp)
+	for step := 0; step < 20000; step++ {
+		s, a, next := rng.Intn(8), rng.Intn(3), rng.Intn(8)
+		r := float64(rng.Intn(9) - 4)
+		if step%100 == 0 {
+			r = 500 // periodically slam into the positive rail
+		}
+		old := int64(ft.Raw(s, a))
+		rQ := int64(quantize(r, FixedOne))
+		target := rQ + (int64(fp.GammaNum)*int64(ft.maxRaw(next)))>>8
+		newV := old - (old >> fp.AlphaShift) + (target >> fp.AlphaShift)
+		_, improved := ft.Update(s, a, r, next)
+		if improved != (newV > old) {
+			t.Fatalf("fixed step %d: improved=%v, want newV>old=%v", step, improved, newV > old)
+		}
+		storedSat := int64(ft.Raw(s, a))
+		if improved != (storedSat > old) && !(improved && old == int64(ft.Raw(s, a)) && storedSat == fixedMax) {
+			t.Fatalf("fixed step %d: flag diverges from storedSat>old away from the rail (old=%d storedSat=%d)",
+				step, old, storedSat)
+		}
+	}
+	qp := DefaultQuantParams()
+	qt := NewQuantTable(8, 3, qp)
+	for step := 0; step < 20000; step++ {
+		s, a, next := rng.Intn(8), rng.Intn(3), rng.Intn(8)
+		r := float64(rng.Intn(9) - 4)
+		if step%100 == 0 {
+			r = 100
+		}
+		old := int64(qt.Raw(s, a))
+		rQ := int64(quantize(r, quantScale))
+		target := rQ + (int64(qp.GammaNum)*int64(qt.maxRaw(next)))>>8
+		newV := old - (old >> qp.AlphaShift) + (target >> qp.AlphaShift)
+		_, improved := qt.Update(s, a, r, next)
+		if improved != (newV > old) {
+			t.Fatalf("quant step %d: improved=%v, want newV>old=%v", step, improved, newV > old)
+		}
+		storedSat := int64(qt.Raw(s, a))
+		if improved != (storedSat > old) && !(improved && storedSat == quantMax) {
+			t.Fatalf("quant step %d: flag diverges from storedSat>old away from the rail (old=%d storedSat=%d)",
+				step, old, storedSat)
+		}
+	}
+}
+
+// TestTableDifferentialDivergence runs the identical update stream through
+// all three representations (float parameters chosen to match the integer
+// ones: α=0.5, γ=230/256, ξ=2, Q₀=−10) and bounds the divergence. The
+// fixed table rounds each step to 1/256 with the M3's round-toward−∞
+// shifts, the quant table to 1/4; the discounting keeps the accumulated
+// error proportional to the resolution, so fixed stays within a few
+// hundredths and quant within a couple of units on bounded rewards.
+func TestTableDifferentialDivergence(t *testing.T) {
+	p := Params{Alpha: 0.5, Gamma: 230.0 / 256.0, Xi: 2, InitQ: -10, Rule: RuleQMA}
+	ft := NewFloatTable(54, 3, p)
+	xt := NewFixedTable(54, 3, DefaultFixedParams())
+	qt := NewQuantTable(54, 3, DefaultQuantParams())
+	rng := rand.New(rand.NewSource(3))
+	var maxFixed, maxQuant float64
+	for step := 0; step < 30000; step++ {
+		s, a, next := rng.Intn(54), rng.Intn(3), rng.Intn(54)
+		r := float64(rng.Intn(8) - 3) // integer rewards, exactly representable
+		ft.Update(s, a, r, next)
+		xt.Update(s, a, r, next)
+		qt.Update(s, a, r, next)
+		if d := math.Abs(ft.Q(s, a) - xt.Q(s, a)); d > maxFixed {
+			maxFixed = d
+		}
+		if d := math.Abs(ft.Q(s, a) - qt.Q(s, a)); d > maxQuant {
+			maxQuant = d
+		}
+	}
+	if maxFixed > 0.25 {
+		t.Errorf("float vs fixed diverged by %v, want <= 0.25", maxFixed)
+	}
+	if maxQuant > 4.0 {
+		t.Errorf("float vs quant diverged by %v, want <= 4.0", maxQuant)
+	}
+	t.Logf("max divergence: fixed %.4f, quant %.4f", maxFixed, maxQuant)
+}

@@ -108,6 +108,10 @@ type Table interface {
 	ArgMax(s int) int
 	// Reset restores every entry to the initial value.
 	Reset()
+	// MemoryBytes reports the value-storage footprint in bytes — the figure
+	// behind the paper's §3.2 resource argument (the same table costs 648
+	// bytes in float64, 324 in Q8.8 and 162 in 8-bit storage).
+	MemoryBytes() int
 }
 
 // FloatTable is the reference float64 implementation of Table.
@@ -123,13 +127,25 @@ var _ Table = (*FloatTable)(nil)
 // NewFloatTable returns a states × actions table initialized to p.InitQ.
 // It panics on invalid parameters or non-positive dimensions.
 func NewFloatTable(states, actions int, p Params) *FloatTable {
+	return NewFloatTableOn(states, actions, p, nil)
+}
+
+// NewFloatTableOn is NewFloatTable placing the values in backing, which must
+// hold exactly states × actions elements (a slab slice from a run arena).
+// nil backing allocates privately.
+func NewFloatTableOn(states, actions int, p Params, backing []float64) *FloatTable {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	if states <= 0 || actions <= 0 {
 		panic(fmt.Sprintf("qlearn: table dimensions %dx%d", states, actions))
 	}
-	t := &FloatTable{p: p, states: states, actions: actions, q: make([]float64, states*actions)}
+	if backing == nil {
+		backing = make([]float64, states*actions)
+	} else if len(backing) != states*actions {
+		panic(fmt.Sprintf("qlearn: backing holds %d values, want %d", len(backing), states*actions))
+	}
+	t := &FloatTable{p: p, states: states, actions: actions, q: backing}
 	t.Reset()
 	return t
 }
@@ -205,6 +221,9 @@ func (t *FloatTable) Reset() {
 		t.q[i] = t.p.InitQ
 	}
 }
+
+// MemoryBytes implements Table: 8 bytes per entry.
+func (t *FloatTable) MemoryBytes() int { return len(t.q) * 8 }
 
 // Snapshot returns a copy of the Q-values as a [states][actions] matrix, for
 // inspection and golden tests (Fig. 5).

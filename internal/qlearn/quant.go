@@ -61,13 +61,24 @@ var _ Table = (*QuantTable)(nil)
 // NewQuantTable returns a states × actions 8-bit table initialized to
 // p.InitQ. It panics on invalid parameters or non-positive dimensions.
 func NewQuantTable(states, actions int, p QuantParams) *QuantTable {
+	return NewQuantTableOn(states, actions, p, nil)
+}
+
+// NewQuantTableOn is NewQuantTable placing the values in backing, which must
+// hold exactly states × actions elements. nil backing allocates privately.
+func NewQuantTableOn(states, actions int, p QuantParams, backing []int8) *QuantTable {
 	if err := p.Validate(); err != nil {
 		panic(err)
 	}
 	if states <= 0 || actions <= 0 {
 		panic(fmt.Sprintf("qlearn: table dimensions %dx%d", states, actions))
 	}
-	t := &QuantTable{p: p, states: states, actions: actions, q: make([]int8, states*actions)}
+	if backing == nil {
+		backing = make([]int8, states*actions)
+	} else if len(backing) != states*actions {
+		panic(fmt.Sprintf("qlearn: backing holds %d values, want %d", len(backing), states*actions))
+	}
+	t := &QuantTable{p: p, states: states, actions: actions, q: backing}
 	t.Reset()
 	return t
 }
@@ -92,11 +103,13 @@ func (t *QuantTable) Q(s, a int) float64 {
 }
 
 // SetQ implements Table; v is rounded to the nearest quarter and saturated.
+// Non-finite inputs saturate deterministically (see quantize): +Inf to the
+// largest representable value, −Inf to the smallest, NaN to zero.
 func (t *QuantTable) SetQ(s, a int, v float64) {
-	t.q[t.idx(s, a)] = saturate8(int32(roundHalfAway(v * quantScale)))
+	t.q[t.idx(s, a)] = saturate8(int64(quantize(v, quantScale)))
 }
 
-func saturate8(v int32) int8 {
+func saturate8(v int64) int8 {
 	if v > quantMax {
 		return quantMax
 	}
@@ -132,13 +145,15 @@ func (t *QuantTable) ArgMax(s int) int {
 	return best
 }
 
-// Update implements Table in 32-bit integer arithmetic with int8 saturation.
+// Update implements Table in integer arithmetic with int8 saturation; like
+// FixedTable, the accumulation is carried in int64 so a saturated reward
+// cannot wrap before the final saturation.
 func (t *QuantTable) Update(s, a int, r float64, next int) (float64, bool) {
-	old := int32(t.q[t.idx(s, a)])
-	rQ := int32(roundHalfAway(r * quantScale))
-	target := rQ + int32((int64(t.p.GammaNum)*int64(t.maxRaw(next)))>>8)
+	old := int64(t.q[t.idx(s, a)])
+	rQ := int64(quantize(r, quantScale))
+	target := rQ + (int64(t.p.GammaNum)*int64(t.maxRaw(next)))>>8
 	newV := old - (old >> t.p.AlphaShift) + (target >> t.p.AlphaShift)
-	stored := old - t.p.Xi
+	stored := old - int64(t.p.Xi)
 	if newV > stored {
 		stored = newV
 	}
@@ -149,7 +164,7 @@ func (t *QuantTable) Update(s, a int, r float64, next int) (float64, bool) {
 
 // Reset implements Table.
 func (t *QuantTable) Reset() {
-	init := saturate8(t.p.InitQ)
+	init := saturate8(int64(t.p.InitQ))
 	for i := range t.q {
 		t.q[i] = init
 	}

@@ -195,6 +195,12 @@ type Config struct {
 	// InvariantChecks enables the runtime self-checks of the kernel, the
 	// medium and the frame pool for this run (tests and fuzz harnesses).
 	InvariantChecks bool
+	// Arena, when non-nil, recycles the run's frame pool and per-node
+	// hot-state slab. Replicated sweeps pass one Arena per worker so
+	// back-to-back runs stop re-allocating their node state; results are
+	// byte-identical with or without it. The Arena must not be shared by
+	// concurrent runs.
+	Arena *Arena
 	// OnEvalGenerate and OnEvalDeliver observe evaluation traffic as it is
 	// generated and as it reaches the sink — the dynamics experiments use
 	// them to compute windowed PDR and post-disturbance recovery times.
@@ -229,9 +235,13 @@ type NodeResult struct {
 	Engine       core.Stats
 	Policy       []int
 	ActionCounts [][core.NumActions]uint64
-	CumQ         *stats.Series
-	Rho          *stats.Series
-	QueueSeries  *stats.Series
+	// TableBytes is the Q-table's value-storage footprint in bytes — the
+	// §3.2 resource figure for the selected representation (0 for CSMA
+	// nodes, which hold no table).
+	TableBytes  int
+	CumQ        *stats.Series
+	Rho         *stats.Series
+	QueueSeries *stats.Series
 }
 
 // PDR reports Delivered/Generated for this origin (1 when nothing was
@@ -317,6 +327,7 @@ type run struct {
 	cfg     Config
 	kernel  *sim.Kernel
 	pool    *frame.Pool
+	scratch *mac.Scratch
 	clock   *superframe.Clock
 	medium  *radio.Medium
 	engines []mac.Engine
@@ -397,10 +408,16 @@ func build(cfg Config) *run {
 		armDynamics(kernel, medium, cfg.Dynamics, cfg.Seed)
 	}
 
+	pool := &frame.Pool{}
+	scratch := &mac.Scratch{}
+	if cfg.Arena != nil {
+		pool, scratch = cfg.Arena.Begin()
+	}
 	r := &run{
 		cfg:     cfg,
 		kernel:  kernel,
-		pool:    &frame.Pool{},
+		pool:    pool,
+		scratch: scratch,
 		clock:   clock,
 		medium:  medium,
 		engines: make([]mac.Engine, n),
@@ -596,6 +613,7 @@ func (r *run) macConfig(id frame.NodeID) mac.Config {
 		MaxRetries:   retries,
 		Router:       r.cfg.Network,
 		FramePool:    r.pool,
+		Scratch:      r.scratch,
 		BarringRng:   barringRng,
 		Drop:         r.cfg.DropPolicy,
 		DropDeadline: r.cfg.DropDeadline,
@@ -756,6 +774,7 @@ func (r *run) collect() {
 			node.Engine = q.EngineStats()
 			node.Policy = q.Learner().PolicySnapshot()
 			node.ActionCounts = q.ActionCounts()
+			node.TableBytes = q.Learner().Table().MemoryBytes()
 		}
 	}
 }

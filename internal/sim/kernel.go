@@ -2,6 +2,7 @@ package sim
 
 import (
 	"fmt"
+	"slices"
 	"time"
 )
 
@@ -78,11 +79,15 @@ func (e EventID) Canceled() bool {
 // is odd while the slot is live and even while it is free, incrementing on
 // every allocation and every release so stale EventIDs can never match.
 type eventSlot struct {
-	at       Time
-	seq      uint64
-	fn       func()
-	fnArg    func(any)
-	arg      any
+	at    Time
+	seq   uint64
+	fn    func()
+	fnArg func(any)
+	arg   any
+	// next links slots scheduled for the same instant into a FIFO chain
+	// (stored as idx+1; 0 terminates). Only the chain head sits in the heap,
+	// so the heap tracks distinct timestamps rather than individual events.
+	next     uint32
 	gen      uint32
 	canceled bool
 	// early events fire before every normal event sharing their timestamp,
@@ -90,20 +95,58 @@ type eventSlot struct {
 	early bool
 }
 
+// tcacheSize is the number of recently appended-to chains the kernel
+// remembers (power of two). A cache hit turns scheduling at an already
+// queued instant into a pointer append — no heap traffic at all.
+const tcacheSize = 4
+
+// tcacheEntry remembers the tail of a queued chain so that another event
+// for the same instant can be appended in O(1). tail is idx+1; 0 = empty.
+type tcacheEntry struct {
+	at   Time
+	tail uint32
+}
+
 // Kernel is a sequential discrete event simulator. It is not safe for
 // concurrent use; replicated runs each own a private Kernel.
 //
-// Events live in a kernel-owned arena and are ordered by an index-based
-// 4-ary min-heap, so steady-state scheduling performs no allocations.
+// Events live in a kernel-owned arena. Same-instant events are linked into
+// FIFO chains, an index-based 4-ary min-heap orders the chain heads by
+// time, and Run drains one instant at a time into a reusable batch buffer,
+// restores the exact (early, seq) order with one sort, and dispatches
+// sequentially — so the per-event cost in same-instant bursts is an append
+// and a compare, not a heap sift. Steady state performs no allocations.
 type Kernel struct {
 	slots []eventSlot
 	free  []uint32 // freelist of recycled slot indices
-	heap  []uint32 // 4-ary min-heap of slot indices, ordered by (at, seq)
+	heap  []uint32 // 4-ary min-heap of chain-head slot indices, ordered by (at, seq)
+
+	// batch holds the instant currently being dispatched, in firing order;
+	// batchPos is the next entry to dispatch. The buffer is reused across
+	// instants. batchAt is the batch's timestamp while dispatching is true;
+	// events scheduled for exactly that instant from inside a callback are
+	// spliced into the batch instead of touching the heap.
+	batch       []uint32
+	batchPos    int
+	batchAt     Time
+	dispatching bool
+
+	// tcache maps a few recent instants to their chain tails for O(1)
+	// same-time appends. Entries are invalidated when their instant drains,
+	// and wholesale on compaction.
+	tcache [tcacheSize]tcacheEntry
+
+	// batchCmp is the (early, seq) comparator for sorting a drained batch,
+	// built once so sorting stays allocation-free.
+	batchCmp func(a, b uint32) int
 
 	now     Time
 	seq     uint64
 	stopped bool
-	// canceledQueued counts cancelled events still occupying heap entries;
+	// queued counts events that are scheduled but have not yet fired or
+	// been dropped (chained, heaped or sitting in the live batch).
+	queued int
+	// canceledQueued counts cancelled events still occupying queue entries;
 	// when they dominate the queue it is compacted.
 	canceledQueued int
 	// processed counts events that actually fired (cancelled events are
@@ -116,31 +159,46 @@ type Kernel struct {
 	budgetWall   time.Duration
 	budgetHit    bool
 
-	// invariantChecks enables the opt-in runtime self-checks (heap order on
-	// pop). Off by default: the checks are for tests and fuzzing.
+	// invariantChecks enables the opt-in runtime self-checks (time order on
+	// dispatch). Off by default: the checks are for tests and fuzzing.
 	invariantChecks bool
 }
 
 // NewKernel returns a kernel with the clock at zero and an empty queue.
 func NewKernel() *Kernel {
-	return &Kernel{
+	k := &Kernel{
 		slots: make([]eventSlot, 0, 1024),
-		heap:  make([]uint32, 0, 1024),
+		heap:  make([]uint32, 0, 64),
+		batch: make([]uint32, 0, 256),
 	}
+	k.batchCmp = func(a, b uint32) int {
+		sa, sb := &k.slots[a], &k.slots[b]
+		if sa.early != sb.early {
+			if sa.early {
+				return -1
+			}
+			return 1
+		}
+		if sa.seq < sb.seq {
+			return -1
+		}
+		return 1
+	}
+	return k
 }
 
 // Now reports the current virtual time.
 func (k *Kernel) Now() Time { return k.now }
 
 // Pending reports the number of queued (possibly cancelled) events.
-func (k *Kernel) Pending() int { return len(k.heap) }
+func (k *Kernel) Pending() int { return k.queued }
 
 // Processed reports how many events have fired so far.
 func (k *Kernel) Processed() uint64 { return k.processed }
 
 // Live reports the number of queued events that will actually fire
 // (cancelled entries awaiting compaction are excluded).
-func (k *Kernel) Live() int { return len(k.heap) - k.canceledQueued }
+func (k *Kernel) Live() int { return k.queued - k.canceledQueued }
 
 // SetBudget bounds every subsequent Run call: after maxEvents processed
 // events (0 = unlimited) or maxWall of real time (0 = unlimited, checked
@@ -158,8 +216,8 @@ func (k *Kernel) SetBudget(maxEvents uint64, maxWall time.Duration) {
 func (k *Kernel) BudgetExhausted() bool { return k.budgetHit }
 
 // SetInvariantChecks toggles the kernel's opt-in runtime self-checks
-// (currently: popped events must never travel back in time). Tests and the
-// fuzzing harnesses enable them; production sweeps leave them off.
+// (currently: dispatched events must never travel back in time). Tests and
+// the fuzzing harnesses enable them; production sweeps leave them off.
 func (k *Kernel) SetInvariantChecks(on bool) { k.invariantChecks = on }
 
 // ctx renders the kernel's position for panic messages, so a post-mortem
@@ -185,8 +243,9 @@ func (k *Kernel) At(t Time, fn func()) EventID {
 	}
 	idx, s := k.alloc(t)
 	s.fn = fn
-	k.heapPush(idx)
-	return EventID{k: k, idx: idx, gen: s.gen}
+	gen := s.gen
+	k.enqueue(idx, t, false)
+	return EventID{k: k, idx: idx, gen: gen}
 }
 
 // AtCall enqueues fn(arg) to run at absolute time t. Unlike At it needs no
@@ -200,8 +259,9 @@ func (k *Kernel) AtCall(t Time, fn func(arg any), arg any) EventID {
 	idx, s := k.alloc(t)
 	s.fnArg = fn
 	s.arg = arg
-	k.heapPush(idx)
-	return EventID{k: k, idx: idx, gen: s.gen}
+	gen := s.gen
+	k.enqueue(idx, t, false)
+	return EventID{k: k, idx: idx, gen: gen}
 }
 
 // AtCallEarly is AtCall for state-expiry bookkeeping: the event fires at t
@@ -221,8 +281,9 @@ func (k *Kernel) AtCallEarly(t Time, fn func(arg any), arg any) EventID {
 	s.fnArg = fn
 	s.arg = arg
 	s.early = true
-	k.heapPush(idx)
-	return EventID{k: k, idx: idx, gen: s.gen}
+	gen := s.gen
+	k.enqueue(idx, t, true)
+	return EventID{k: k, idx: idx, gen: gen}
 }
 
 // alloc takes a slot from the freelist (or grows the arena), stamps it with
@@ -247,6 +308,7 @@ func (k *Kernel) alloc(t Time) (uint32, *eventSlot) {
 	s.gen++ // odd: live
 	s.canceled = false
 	s.early = false
+	s.next = 0
 	return idx, s
 }
 
@@ -261,17 +323,64 @@ func (k *Kernel) release(idx uint32) {
 	k.free = append(k.free, idx)
 }
 
-// less orders two slot indices by (time, class, sequence): early events
-// precede normal events at the same instant, and the sequence number makes
-// the ordering total and therefore the whole simulation deterministic — two
-// same-class events scheduled for the same instant fire in scheduling order.
+// tcacheSlot hashes an instant into the chain-tail cache.
+func tcacheSlot(t Time) int {
+	return int((uint64(t) * 0x9E3779B97F4A7C15) >> 62)
+}
+
+// enqueue routes a freshly allocated slot to its queue position: spliced
+// into the live batch when a callback schedules for the instant currently
+// dispatching, appended to a cached chain on a tail-cache hit, or pushed as
+// a new chain head otherwise.
+func (k *Kernel) enqueue(idx uint32, t Time, early bool) {
+	k.queued++
+	if k.dispatching && t == k.batchAt {
+		k.batchInsert(idx, early)
+		return
+	}
+	h := tcacheSlot(t)
+	if e := &k.tcache[h]; e.tail != 0 && e.at == t {
+		k.slots[e.tail-1].next = idx + 1
+		e.tail = idx + 1
+		return
+	}
+	k.heapPush(idx)
+	k.tcache[h] = tcacheEntry{at: t, tail: idx + 1}
+}
+
+// batchInsert splices an event scheduled for the instant currently being
+// dispatched into the batch. It carries the highest sequence number seen so
+// far, so a normal event goes last; an early event goes after the remaining
+// early events but before every remaining normal one — exactly where the
+// (at, early, seq) order puts it.
+func (k *Kernel) batchInsert(idx uint32, early bool) {
+	if !early {
+		k.batch = append(k.batch, idx)
+		return
+	}
+	// Binary search the undispatched tail for the first normal event.
+	lo, hi := k.batchPos, len(k.batch)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if k.slots[k.batch[mid]].early {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	k.batch = append(k.batch, 0)
+	copy(k.batch[lo+1:], k.batch[lo:])
+	k.batch[lo] = idx
+}
+
+// less orders two chain heads by (time, sequence). Only distinct instants
+// compete in the heap — exact same-instant ordering is restored by the
+// batch sort — but the sequence tiebreak keeps the layout deterministic
+// when cache misses produce several chains for one instant.
 func (k *Kernel) less(a, b uint32) bool {
 	sa, sb := &k.slots[a], &k.slots[b]
 	if sa.at != sb.at {
 		return sa.at < sb.at
-	}
-	if sa.early != sb.early {
-		return sa.early
 	}
 	return sa.seq < sb.seq
 }
@@ -325,32 +434,105 @@ func (k *Kernel) siftDown(i int) {
 	}
 }
 
-// compactThreshold is the minimum queue length before lazy compaction kicks
-// in; below it, draining cancelled entries through heapPop is cheaper.
+// compactThreshold is the minimum number of cancelled entries before lazy
+// compaction kicks in; below it, dropping them at dispatch is cheaper.
 const compactThreshold = 64
 
-// maybeCompact rebuilds the heap without cancelled entries once they make up
-// more than half of it. Cancellation is otherwise lazy (heap entries of
-// cancelled events are dropped when popped), so a workload that cancels
-// almost everything it schedules — e.g. ACK timers — cannot grow the queue
-// without bound.
+// maybeCompact rebuilds the queue without cancelled entries once they make
+// up more than half of it. Cancellation is otherwise lazy (entries of
+// cancelled events are dropped when their instant dispatches), so a
+// workload that cancels almost everything it schedules — e.g. ACK timers —
+// cannot grow the queue without bound. Cancelled events sitting in the live
+// batch are skipped at dispatch instead; the counter is adjusted per entry
+// actually removed, so their accounting survives a compaction.
 func (k *Kernel) maybeCompact() {
-	if k.canceledQueued <= compactThreshold || k.canceledQueued*2 <= len(k.heap) {
+	if k.canceledQueued <= compactThreshold || k.canceledQueued*2 <= k.queued {
 		return
 	}
+	removed := 0
 	kept := k.heap[:0]
-	for _, idx := range k.heap {
-		if k.slots[idx].canceled {
-			k.release(idx)
-			continue
+	for _, head := range k.heap {
+		newHead := uint32(0) // idx+1; 0 = chain fully cancelled
+		tail := uint32(0)
+		cur := head
+		for {
+			next := k.slots[cur].next
+			if k.slots[cur].canceled {
+				k.release(cur)
+				removed++
+			} else {
+				k.slots[cur].next = 0
+				if newHead == 0 {
+					newHead = cur + 1
+				} else {
+					k.slots[tail-1].next = cur + 1
+				}
+				tail = cur + 1
+			}
+			if next == 0 {
+				break
+			}
+			cur = next - 1
 		}
-		kept = append(kept, idx)
+		if newHead != 0 {
+			kept = append(kept, newHead-1)
+		}
 	}
 	k.heap = kept
-	k.canceledQueued = 0
+	k.canceledQueued -= removed
+	k.queued -= removed
 	for i := (len(k.heap) - 2) / 4; i >= 0; i-- {
 		k.siftDown(i)
 	}
+	// Chain tails may have been unlinked or rechained; drop every cached tail.
+	for i := range k.tcache {
+		k.tcache[i].tail = 0
+	}
+}
+
+// drain pops every chain scheduled for instant t off the heap into the
+// batch buffer and restores the exact (early, seq) firing order with one
+// sort. Chains are already seq-ordered, so for the common single-chain,
+// no-early instant the sort's presorted check is a single linear pass.
+func (k *Kernel) drain(t Time) {
+	k.batchAt = t
+	for len(k.heap) > 0 {
+		idx := k.heap[0]
+		if k.slots[idx].at != t {
+			break
+		}
+		k.heapPop()
+		for {
+			k.batch = append(k.batch, idx)
+			next := k.slots[idx].next
+			k.slots[idx].next = 0
+			if next == 0 {
+				break
+			}
+			idx = next - 1
+		}
+	}
+	for i := range k.tcache {
+		if k.tcache[i].tail != 0 && k.tcache[i].at == t {
+			k.tcache[i].tail = 0
+		}
+	}
+	if len(k.batch) > 1 {
+		slices.SortFunc(k.batch, k.batchCmp)
+	}
+	k.dispatching = true
+}
+
+// requeueBatch pushes the undispatched remainder of the batch back onto the
+// heap (as singleton chains) when Stop or a budget cuts a Run short
+// mid-instant; their sequence numbers restore the order on the next drain.
+func (k *Kernel) requeueBatch() {
+	for _, idx := range k.batch[k.batchPos:] {
+		k.heapPush(idx)
+	}
+	k.batch = k.batch[:0]
+	k.batchPos = 0
+	k.dispatching = false
 }
 
 // Stop makes Run return after the currently executing event completes.
@@ -367,7 +549,55 @@ func (k *Kernel) Run(until Time) {
 	if k.budgetWall > 0 {
 		wallStart = time.Now()
 	}
-	for len(k.heap) > 0 && !k.stopped {
+	for {
+		if k.batchPos < len(k.batch) {
+			if k.stopped {
+				k.requeueBatch()
+				break
+			}
+			if k.budgetEvents > 0 && fired >= k.budgetEvents {
+				k.budgetHit = true
+				k.requeueBatch()
+				break
+			}
+			if k.budgetWall > 0 && fired&4095 == 4095 && time.Since(wallStart) > k.budgetWall {
+				k.budgetHit = true
+				k.requeueBatch()
+				break
+			}
+			idx := k.batch[k.batchPos]
+			k.batchPos++
+			s := &k.slots[idx]
+			k.queued--
+			if s.canceled {
+				k.canceledQueued--
+				k.release(idx)
+				continue
+			}
+			if k.invariantChecks && s.at < k.now {
+				panic(fmt.Sprintf("sim: heap order violated: popped at=%v (%s)", s.at, k.ctx()))
+			}
+			fired++
+			// Copy out before releasing: the slot is recycled before the
+			// callback runs, so the callback may reuse it (and may grow the
+			// arena, invalidating s).
+			at, fn, fnArg, arg := s.at, s.fn, s.fnArg, s.arg
+			k.release(idx)
+			k.now = at
+			k.processed++
+			if fn != nil {
+				fn()
+			} else {
+				fnArg(arg)
+			}
+			continue
+		}
+		k.batch = k.batch[:0]
+		k.batchPos = 0
+		k.dispatching = false
+		if len(k.heap) == 0 || k.stopped {
+			break
+		}
 		if k.budgetEvents > 0 && fired >= k.budgetEvents {
 			k.budgetHit = true
 			break
@@ -376,33 +606,11 @@ func (k *Kernel) Run(until Time) {
 			k.budgetHit = true
 			break
 		}
-		idx := k.heap[0]
-		s := &k.slots[idx]
-		if s.at > until {
+		t := k.slots[k.heap[0]].at
+		if t > until {
 			break
 		}
-		k.heapPop()
-		if s.canceled {
-			k.canceledQueued--
-			k.release(idx)
-			continue
-		}
-		if k.invariantChecks && s.at < k.now {
-			panic(fmt.Sprintf("sim: heap order violated: popped at=%v (%s)", s.at, k.ctx()))
-		}
-		fired++
-		// Copy out before releasing: the slot is recycled before the
-		// callback runs, so the callback may reuse it (and may grow the
-		// arena, invalidating s).
-		at, fn, fnArg, arg := s.at, s.fn, s.fnArg, s.arg
-		k.release(idx)
-		k.now = at
-		k.processed++
-		if fn != nil {
-			fn()
-		} else {
-			fnArg(arg)
-		}
+		k.drain(t)
 	}
 	if until != Never && k.now < until {
 		k.now = until

@@ -59,7 +59,7 @@ func Workers(parallel int) int {
 // runJob executes job(i) under a recover barrier with one retry. It returns
 // nil on success and a RepError (Index filled, Cell/Seed left for the caller)
 // when both attempts panicked.
-func runJob(i int, job func(i int)) *RepError {
+func runJob(w, i int, job func(w, i int)) *RepError {
 	var lastValue any
 	var lastStack []byte
 	attempt := func() (panicked bool) {
@@ -70,7 +70,7 @@ func runJob(i int, job func(i int)) *RepError {
 				lastStack = debug.Stack()
 			}
 		}()
-		job(i)
+		job(w, i)
 		return false
 	}
 	const attempts = 2
@@ -92,6 +92,16 @@ func runJob(i int, job func(i int)) *RepError {
 // result slot is simply never written. A nil return means every job
 // completed.
 func ForEach(n, parallel int, job func(i int)) []*RepError {
+	return ForEachWorker(n, parallel, func(_, i int) { job(i) })
+}
+
+// ForEachWorker is ForEach with a worker identity: job additionally receives
+// the index w of the worker goroutine executing it, 0 <= w < Workers(parallel).
+// Jobs on the same w run strictly sequentially, which is what lets a job
+// reuse per-worker state (scratch arenas, frame pools) without locking. The
+// results must not depend on that state — each job stays addressed purely by
+// its index i.
+func ForEachWorker(n, parallel int, job func(w, i int)) []*RepError {
 	workers := Workers(parallel)
 	if workers > n {
 		workers = n
@@ -99,7 +109,7 @@ func ForEach(n, parallel int, job func(i int)) []*RepError {
 	if workers <= 1 {
 		var errs []*RepError
 		for i := 0; i < n; i++ {
-			if re := runJob(i, job); re != nil {
+			if re := runJob(0, i, job); re != nil {
 				errs = append(errs, re)
 			}
 		}
@@ -111,20 +121,20 @@ func ForEach(n, parallel int, job func(i int)) []*RepError {
 	var errs []*RepError
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				if re := runJob(i, job); re != nil {
+				if re := runJob(w, i, job); re != nil {
 					mu.Lock()
 					errs = append(errs, re)
 					mu.Unlock()
 				}
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	sort.Slice(errs, func(a, b int) bool { return errs[a].Index < errs[b].Index })
@@ -170,9 +180,18 @@ func ReplicateMany(n, parallel int, fn func(seed uint64) map[string]float64) (ma
 // slice with its exact cell and seed, so the sweep of every other point
 // completes and the crash stays reproducible single-threaded.
 func ReplicateGrid(cells, reps, parallel int, fn func(cell int, seed uint64) map[string]float64) ([]map[string]Estimate, []*RepError) {
+	return ReplicateGridWorker(cells, reps, parallel,
+		func(_, cell int, seed uint64) map[string]float64 { return fn(cell, seed) })
+}
+
+// ReplicateGridWorker is ReplicateGrid handing fn the worker index executing
+// the replication (see ForEachWorker), so a sweep can reuse one arena per
+// worker across its runs. The merged Estimates must not depend on the worker
+// assignment.
+func ReplicateGridWorker(cells, reps, parallel int, fn func(w, cell int, seed uint64) map[string]float64) ([]map[string]Estimate, []*RepError) {
 	results := make([]map[string]float64, cells*reps)
-	errs := ForEach(cells*reps, parallel, func(i int) {
-		results[i] = fn(i/reps, uint64(i%reps))
+	errs := ForEachWorker(cells*reps, parallel, func(w, i int) {
+		results[i] = fn(w, i/reps, uint64(i%reps))
 	})
 	for _, e := range errs {
 		e.Cell = e.Index / reps

@@ -147,15 +147,27 @@ func (s *Series) Rolling(window int) *Series {
 	return out
 }
 
-// Downsample keeps roughly max evenly spaced samples, for compact reports.
+// Downsample keeps at most max evenly spaced samples, for compact reports.
+// The first and the final sample are always kept — recovery-time readers
+// (dynamics, faults) look at the tail of windowed-PDR series, so the last
+// window must survive — and the indices are computed with integer math so no
+// sample is ever emitted twice (float stepping used to duplicate indices for
+// awkward (len, max) pairs).
 func (s *Series) Downsample(max int) *Series {
 	if max <= 0 || len(s.points) <= max {
 		return &Series{points: append([]Point(nil), s.points...)}
 	}
-	out := &Series{}
-	step := float64(len(s.points)) / float64(max)
+	out := &Series{points: make([]Point, 0, max)}
+	if max == 1 {
+		out.points = append(out.points, s.points[len(s.points)-1])
+		return out
+	}
+	// i*last/(max-1) hits 0 and last exactly; len > max makes consecutive
+	// indices differ by at least floor(last/(max-1)) >= 1, so the selection
+	// is strictly increasing.
+	last := len(s.points) - 1
 	for i := 0; i < max; i++ {
-		out.points = append(out.points, s.points[int(float64(i)*step)])
+		out.points = append(out.points, s.points[i*last/(max-1)])
 	}
 	return out
 }

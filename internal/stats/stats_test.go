@@ -119,6 +119,44 @@ func TestSeriesDownsample(t *testing.T) {
 	}
 }
 
+// TestSeriesDownsampleAwkwardPairs pins the integer-index behaviour across
+// (len, max) pairs where the old float stepping emitted duplicate indices or
+// dropped the final sample: exactly min(len, max) points come back, strictly
+// increasing, with the first and last original samples always present.
+func TestSeriesDownsampleAwkwardPairs(t *testing.T) {
+	cases := []struct{ n, max int }{
+		{2, 1}, {3, 2}, {5, 4}, {7, 3}, {10, 3}, {10, 7}, {11, 10},
+		{13, 5}, {100, 7}, {100, 99}, {101, 100}, {1000, 999}, {997, 31},
+	}
+	for _, tc := range cases {
+		var s Series
+		for i := 0; i < tc.n; i++ {
+			s.Add(float64(i), float64(i)*2)
+		}
+		d := s.Downsample(tc.max)
+		want := tc.max
+		if tc.n < want {
+			want = tc.n
+		}
+		if d.Len() != want {
+			t.Errorf("n=%d max=%d: got %d points, want %d", tc.n, tc.max, d.Len(), want)
+			continue
+		}
+		if last := d.At(d.Len() - 1).T; last != float64(tc.n-1) {
+			t.Errorf("n=%d max=%d: last point T=%v, want %v (tail dropped)", tc.n, tc.max, last, float64(tc.n-1))
+		}
+		if tc.max > 1 && d.At(0).T != 0 {
+			t.Errorf("n=%d max=%d: first sample dropped", tc.n, tc.max)
+		}
+		for i := 1; i < d.Len(); i++ {
+			if d.At(i).T <= d.At(i-1).T {
+				t.Errorf("n=%d max=%d: duplicate or out-of-order index at %d (T=%v after %v)",
+					tc.n, tc.max, i, d.At(i).T, d.At(i-1).T)
+			}
+		}
+	}
+}
+
 func TestSeriesQuantile(t *testing.T) {
 	var s Series
 	for _, v := range []float64{5, 1, 3, 2, 4} {

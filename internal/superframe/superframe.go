@@ -128,9 +128,17 @@ func (c Config) GTSPerMultiframe() int {
 }
 
 // Clock answers "where inside the superframe structure is instant t". It is
-// stateless and shared by every node (perfect synchronization).
+// stateless and shared by every node (perfect synchronization). The derived
+// durations are precomputed once: every node consults the clock at every
+// subslot boundary, so the per-call Config multiplications add up.
 type Clock struct {
 	cfg Config
+
+	subslotDur sim.Time
+	sfDur      sim.Time
+	capOff     sim.Time
+	cfpOff     sim.Time
+	subslots   int
 }
 
 // NewClock validates cfg and returns a clock. It panics on an invalid
@@ -139,7 +147,14 @@ func NewClock(cfg Config) *Clock {
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	return &Clock{cfg: cfg}
+	return &Clock{
+		cfg:        cfg,
+		subslotDur: cfg.SubslotDuration(),
+		sfDur:      cfg.SuperframeDuration(),
+		capOff:     cfg.CAPStartOffset(),
+		cfpOff:     cfg.CFPStartOffset(),
+		subslots:   cfg.Subslots,
+	}
 }
 
 // Config returns the clock's configuration.
@@ -153,7 +168,7 @@ func (c *Clock) SuperframeIndex(t sim.Time) int64 {
 
 // SuperframeStart reports the start of the superframe containing t.
 func (c *Clock) SuperframeStart(t sim.Time) sim.Time {
-	return t - t%c.cfg.SuperframeDuration()
+	return t - t%c.sfDur
 }
 
 // MultiframeIndex reports the multi-superframe containing t.
@@ -170,19 +185,19 @@ func (c *Clock) SuperframeInMultiframe(t sim.Time) int {
 // InCAP reports whether t lies inside a contention access period, including
 // the trailing guard after the last subslot.
 func (c *Clock) InCAP(t sim.Time) bool {
-	off := t % c.cfg.SuperframeDuration()
-	return off >= c.cfg.CAPStartOffset() && off < c.cfg.CFPStartOffset()
+	off := t % c.sfDur
+	return off >= c.capOff && off < c.cfpOff
 }
 
 // Subslot reports the subslot index in [0, Subslots) containing t, or -1 when
 // t lies outside the CAP or in the trailing CAP guard.
 func (c *Clock) Subslot(t sim.Time) int {
-	off := t%c.cfg.SuperframeDuration() - c.cfg.CAPStartOffset()
+	off := t%c.sfDur - c.capOff
 	if off < 0 {
 		return -1
 	}
-	idx := int(off / c.cfg.SubslotDuration())
-	if idx >= c.cfg.Subslots {
+	idx := int(off / c.subslotDur)
+	if idx >= c.subslots {
 		return -1
 	}
 	return idx
@@ -198,22 +213,37 @@ func (c *Clock) SubslotStart(t sim.Time, idx int) sim.Time {
 // rolling into the next superframe's subslot 0 after the CAP ends.
 func (c *Clock) NextSubslotStart(t sim.Time) sim.Time {
 	sf := c.SuperframeStart(t)
-	capStart := sf + c.cfg.CAPStartOffset()
+	capStart := sf + c.capOff
 	if t < capStart {
 		return capStart
 	}
-	idx := (t - capStart) / c.cfg.SubslotDuration()
-	next := capStart + (idx+1)*c.cfg.SubslotDuration()
-	if int(idx+1) >= c.cfg.Subslots {
-		return sf + c.cfg.SuperframeDuration() + c.cfg.CAPStartOffset()
+	idx := (t - capStart) / c.subslotDur
+	next := capStart + (idx+1)*c.subslotDur
+	if int(idx+1) >= c.subslots {
+		return sf + c.sfDur + c.capOff
 	}
 	return next
+}
+
+// NextBoundary advances from one subslot boundary to the next without any
+// division: t must be the start of subslot idx (as previously reported by
+// NextSubslotStart/Subslot or by NextBoundary itself). It returns the next
+// boundary and its subslot index, rolling into the next superframe's
+// subslot 0 after the last subslot. This is the per-tick fast path of the
+// MAC engines; results are bit-identical to NextSubslotStart(t).
+func (c *Clock) NextBoundary(t sim.Time, idx int) (sim.Time, int) {
+	if idx+1 < c.subslots {
+		return t + c.subslotDur, idx + 1
+	}
+	// t - idx*subslotDur is the CAP start; the next boundary is the CAP
+	// start one superframe later.
+	return t - sim.Time(idx)*c.subslotDur + c.sfDur, 0
 }
 
 // CAPEnd reports the end of the CAP of the superframe containing t (valid
 // whether or not t itself is inside the CAP).
 func (c *Clock) CAPEnd(t sim.Time) sim.Time {
-	return c.SuperframeStart(t) + c.cfg.CFPStartOffset()
+	return c.SuperframeStart(t) + c.cfpOff
 }
 
 // FitsInCAP reports whether an activity of duration d starting at t completes

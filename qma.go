@@ -454,6 +454,11 @@ type NodeResult struct {
 	// Policy is the final per-subslot policy for QMA nodes ("." = QBackoff,
 	// "C" = QCCA, "S" = QSend); empty for CSMA nodes.
 	Policy string
+	// TableBytes is the Q-table's value-storage footprint in bytes for QMA
+	// nodes — the paper's §3.2 resource figure for the selected Table kind
+	// (648 float64, 324 fixed Q8.8, 162 quant 8-bit at 54×3). 0 for CSMA
+	// nodes.
+	TableBytes int
 	// CumulativeQ, ExplorationRate and QueueLevel are sampled series when
 	// SampleSeries was set (QMA nodes only for the first two).
 	CumulativeQ, ExplorationRate, QueueLevel []Point
@@ -793,6 +798,7 @@ func (s *Scenario) Run() (*Result, error) {
 			DeadlineDrops:    n.MAC.DeadlineDrops,
 			Captured:         n.Radio.RxCaptured,
 			Policy:           policyString(n.Policy),
+			TableBytes:       n.TableBytes,
 			CumulativeQ:      points(n.CumQ),
 			ExplorationRate:  points(n.Rho),
 			QueueLevel:       points(n.QueueSeries),

@@ -1,0 +1,128 @@
+package qma_test
+
+import (
+	"reflect"
+	"testing"
+
+	"qma"
+)
+
+// TestPublicTableKindsEndToEnd exercises the selectable Q-table
+// representations through the public API only: MACOptions{"table": ...} must
+// behave exactly like the typed Table field, runs must be deterministic even
+// when the table-kind subtests execute concurrently (go test -parallel), the
+// per-node results must be sane, and every QMA node must report the §3.2
+// memory footprint of its representation.
+func TestPublicTableKindsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	baseScenario := func() *qma.Scenario {
+		return &qma.Scenario{
+			Topology:        qma.HiddenNode(),
+			MAC:             qma.QMA,
+			Seed:            3,
+			DurationSeconds: 90,
+			Traffic: []qma.Traffic{
+				{Origin: 0, Phases: []qma.Phase{{Rate: 10}}, StartSeconds: 2, MaxPackets: 400},
+				{Origin: 2, Phases: []qma.Phase{{Rate: 10}}, StartSeconds: 2, MaxPackets: 400},
+			},
+		}
+	}
+	cases := []struct {
+		option    string
+		kind      qma.TableKind
+		wantBytes int // 54 subslots × 3 actions × entry width
+	}{
+		{"fixed", qma.TableFixed, 54 * 3 * 2},
+		{"quant", qma.TableQuant, 54 * 3 * 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.option, func(t *testing.T) {
+			t.Parallel()
+			byOption := baseScenario()
+			byOption.MACOptions = map[string]string{"table": tc.option}
+			byField := baseScenario()
+			byField.Table = tc.kind
+
+			resOption, err := byOption.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			resField, err := byField.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resOption, resField) {
+				t.Error("MACOptions{\"table\"} and the typed Table field produced different results")
+			}
+			again, err := byOption.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(resOption, again) {
+				t.Error("identical runs produced different results under concurrent subtests")
+			}
+
+			if resOption.NetworkPDR < 0.8 || resOption.NetworkPDR > 1 {
+				t.Errorf("NetworkPDR = %.3f, want in [0.8, 1]", resOption.NetworkPDR)
+			}
+			if resOption.Events == 0 {
+				t.Error("no kernel events reported")
+			}
+			for _, n := range resOption.Nodes {
+				if n.PDR < 0 || n.PDR > 1 {
+					t.Errorf("node %d: PDR = %v out of [0,1]", n.ID, n.PDR)
+				}
+				if n.Delivered > n.Generated {
+					t.Errorf("node %d: delivered %d > generated %d", n.ID, n.Delivered, n.Generated)
+				}
+				if len(n.Policy) != 54 {
+					t.Errorf("node %d: policy length %d, want 54 subslots", n.ID, len(n.Policy))
+				}
+				if n.TableBytes != tc.wantBytes {
+					t.Errorf("node %d: TableBytes = %d, want %d", n.ID, n.TableBytes, tc.wantBytes)
+				}
+			}
+			src := resOption.Nodes[0]
+			if src.Generated == 0 || src.TxAttempts == 0 {
+				t.Errorf("source node generated %d packets, %d TX attempts — traffic did not run", src.Generated, src.TxAttempts)
+			}
+		})
+	}
+}
+
+// TestPublicTableBytesFloatAndCSMA pins the footprint reporting on the
+// default float64 table (648 bytes at 54×3) and its absence on CSMA nodes,
+// which hold no Q-table.
+func TestPublicTableBytesFloatAndCSMA(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	sc := &qma.Scenario{
+		Topology:        qma.HiddenNode(),
+		MAC:             qma.QMA,
+		Seed:            4,
+		DurationSeconds: 30,
+		Traffic:         []qma.Traffic{{Origin: 0, Phases: []qma.Phase{{Rate: 5}}, MaxPackets: 50}},
+	}
+	res, err := sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		if n.TableBytes != 54*3*8 {
+			t.Errorf("QMA node %d: TableBytes = %d, want %d (float64)", n.ID, n.TableBytes, 54*3*8)
+		}
+	}
+	sc.MAC = qma.CSMAUnslotted
+	res, err = sc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range res.Nodes {
+		if n.TableBytes != 0 {
+			t.Errorf("CSMA node %d: TableBytes = %d, want 0", n.ID, n.TableBytes)
+		}
+	}
+}
