@@ -47,6 +47,9 @@ var gated = map[string][]string{
 		"BenchmarkMediumTransmit",
 		"BenchmarkHandshakeMatrix",
 	},
+	"./internal/radio": {
+		"BenchmarkShardedMediumCells",
+	},
 }
 
 // result is one benchmark measurement: the iteration count and ns/op of a

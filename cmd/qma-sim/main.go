@@ -6,6 +6,7 @@
 //	qma-sim -topology hidden -mac qma -delta 25 -duration 200 -seed 1
 //	qma-sim -topology rings3 -mac unslotted -dsme -duration 400
 //	qma-sim -scale 10000 -delta 0.5 -duration 10 -warmup 1   # 10k-node factory hall
+//	qma-sim -mmtc 100000 -cells 8x8 -delta 0.1 -duration 30 -warmup 5   # sharded city
 //	qma-sim -fault-outage 1@100+5+beacons -fault-reboot 0@120 -duration 200
 package main
 
@@ -42,7 +43,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 	seed := fs.Uint64("seed", 1, "random seed")
 	useDSME := fs.Bool("dsme", false, "run the DSME GTS scenario instead of plain contention")
 	scale := fs.Int("scale", 0, "run a random-uniform factory hall with this many nodes instead of -topology")
-	degree := fs.Float64("degree", 0, "factory-hall target mean decode degree (0 = default 10)")
+	mmtc := fs.Int("mmtc", 0, "run a multi-cell sharded city with this many devices instead of -topology (one sink per cell, boundary-interference exchange at beacon epochs)")
+	cellsSpec := fs.String("cells", "", "cell grid for -mmtc as XxY, e.g. 8x8 (default 4x4; 1x1 is monolithic-equivalent)")
+	parallel := fs.Int("parallel", 0, "worker pool driving -mmtc cells (0 = all cores; results are byte-identical for every value)")
+	summaryOnly := fs.Bool("summary-only", false, "skip per-node results: O(1) result memory, network totals only (plain and -scale paths)")
+	degree := fs.Float64("degree", 0, "factory-hall/city target mean decode degree (0 = default 10)")
 	dynamics := fs.Bool("dynamics", false, "enable link dynamics: a canned burst fade at -fade-node (see -fade-*)")
 	fadeNode := fs.Int("fade-node", -1, "node to deep-fade with -dynamics (-1 = the sink)")
 	fadeAt := fs.Float64("fade-at", -1, "fade start in seconds (-1 = half of -duration)")
@@ -76,25 +81,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	wantDynamics := *dynamics || *geBad > 0
-	if wantDynamics && (*scale > 0 || *useDSME) {
-		return fail(fmt.Errorf("-dynamics/-ge-bad are only supported on the plain contention path (not -scale or -dsme)"))
+	if wantDynamics && (*scale > 0 || *useDSME || *mmtc > 0) {
+		return fail(fmt.Errorf("-dynamics/-ge-bad are only supported on the plain contention path (not -scale, -dsme or -mmtc)"))
 	}
-	if flt.enabled() && (*scale > 0 || *useDSME) {
-		return fail(fmt.Errorf("-fault-* flags are only supported on the plain contention path (not -scale or -dsme)"))
+	if flt.enabled() && (*scale > 0 || *useDSME || *mmtc > 0) {
+		return fail(fmt.Errorf("-fault-* flags are only supported on the plain contention path (not -scale, -dsme or -mmtc)"))
 	}
-	if (*barringPolicy != "" || *dropPolicy != "") && (*scale > 0 || *useDSME) {
-		return fail(fmt.Errorf("-barring/-drop-policy are only supported on the plain contention path (not -scale or -dsme)"))
+	if (*barringPolicy != "" || *dropPolicy != "") && (*scale > 0 || *useDSME || *mmtc > 0) {
+		return fail(fmt.Errorf("-barring/-drop-policy are only supported on the plain contention path (not -scale, -dsme or -mmtc)"))
 	}
 	if *loadMult <= 0 {
 		return fail(fmt.Errorf("-load-mult %g must be positive", *loadMult))
 	}
 	rate := *delta * *loadMult
 
+	if *mmtc > 0 {
+		switch {
+		case *scale > 0 || *useDSME:
+			return fail(fmt.Errorf("-mmtc is exclusive with -scale and -dsme"))
+		case len(macOpts.kv) > 0 || *captureDB != 0:
+			return fail(fmt.Errorf("-mac-opt/-capture-db are not supported on the -mmtc path"))
+		case *summaryOnly:
+			return fail(fmt.Errorf("-summary-only is implied by -mmtc (the sharded runner never holds per-node results)"))
+		case *warmup >= *duration:
+			return fail(fmt.Errorf("-warmup %g must be below -duration %g (no time left to measure)", *warmup, *duration))
+		}
+		cx, cy, err := parseCells(*cellsSpec)
+		if err != nil {
+			return fail(err)
+		}
+		return runMMTC(stdout, stderr, *mmtc, cx, cy, *degree, mk, rate, *duration, *warmup, *seed, *parallel)
+	}
+	if *cellsSpec != "" {
+		return fail(fmt.Errorf("-cells requires -mmtc"))
+	}
+
 	if *scale > 0 {
 		if *warmup >= *duration {
 			return fail(fmt.Errorf("-warmup %g must be below -duration %g (no time left to measure)", *warmup, *duration))
 		}
-		return runScale(stdout, stderr, *scale, *degree, mk, macOpts.kv, *captureDB, rate, *duration, *warmup, *seed)
+		return runScale(stdout, stderr, *scale, *degree, mk, macOpts.kv, *captureDB, rate, *duration, *warmup, *seed, *summaryOnly)
 	}
 
 	topo, err := parseTopology(*topology)
@@ -129,6 +155,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		Seed:               *seed,
 		DurationSeconds:    *duration,
 		MeasureFromSeconds: *warmup,
+		SummaryOnly:        *summaryOnly,
 	}
 	sink := topo.Sink()
 	if wantDynamics {
@@ -190,13 +217,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(err)
 	}
 
-	if sc.Barring != nil {
+	if sc.Barring != nil && !sc.SummaryOnly {
 		var barred, deadline uint64
 		for _, n := range res.Nodes {
 			barred += n.Barred
 			deadline += n.DeadlineDrops
 		}
 		fmt.Fprintf(stdout, "barred attempts %d   deadline drops %d\n", barred, deadline)
+	}
+	if sc.SummaryOnly {
+		fmt.Fprintf(stdout, "network PDR  %.3f   mean delay %.3fs   events %d\n", res.NetworkPDR, res.MeanDelaySeconds, res.Events)
+		return 0
 	}
 	fmt.Fprintf(stdout, "network PDR  %.3f   mean delay %.3fs\n\n", res.NetworkPDR, res.MeanDelaySeconds)
 	fmt.Fprintf(stdout, "%-6s %-5s %-9s %-9s %-7s %-8s %s\n", "node", "pdr", "delay[s]", "queue", "tx", "drops", "policy")
@@ -215,7 +246,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 // simulator throughput instead of a 10,000-row per-node table. Like the
 // plain path it honours -warmup: evaluation traffic starts and measurement
 // begins there (pass -warmup 1 or so for quick throughput probes).
-func runScale(stdout, stderr io.Writer, nodes int, degree float64, mk qma.MAC, macOpts map[string]string, captureDB, delta, duration, warmup float64, seed uint64) int {
+func runScale(stdout, stderr io.Writer, nodes int, degree float64, mk qma.MAC, macOpts map[string]string, captureDB, delta, duration, warmup float64, seed uint64, summaryOnly bool) int {
 	buildStart := time.Now()
 	topo, err := qma.FactoryHall(nodes, degree, seed)
 	if err != nil {
@@ -232,6 +263,7 @@ func runScale(stdout, stderr io.Writer, nodes int, degree float64, mk qma.MAC, m
 		Seed:               seed,
 		DurationSeconds:    duration,
 		MeasureFromSeconds: warmup,
+		SummaryOnly:        summaryOnly,
 	}
 	routed := 0
 	for i := 0; i < nodes; i++ {
@@ -254,6 +286,70 @@ func runScale(stdout, stderr io.Writer, nodes int, degree float64, mk qma.MAC, m
 	fmt.Fprintf(stdout, "simulated       %.1fs under %s in %v\n", duration, mk, wall.Round(time.Millisecond))
 	fmt.Fprintf(stdout, "events          %d (%.0f events/s wall clock)\n", res.Events, float64(res.Events)/wall.Seconds())
 	fmt.Fprintf(stdout, "network PDR     %.3f   mean delay %.3fs\n", res.NetworkPDR, res.MeanDelaySeconds)
+	return 0
+}
+
+// parseCells parses the -cells grid spec "XxY" ("" selects 4x4).
+func parseCells(s string) (cx, cy int, err error) {
+	if s == "" {
+		return 4, 4, nil
+	}
+	xStr, yStr, ok := strings.Cut(s, "x")
+	if !ok {
+		return 0, 0, fmt.Errorf("-cells wants XxY (e.g. 8x8), got %q", s)
+	}
+	if cx, err = strconv.Atoi(xStr); err != nil || cx < 1 {
+		return 0, 0, fmt.Errorf("bad -cells x count %q", xStr)
+	}
+	if cy, err = strconv.Atoi(yStr); err != nil || cy < 1 {
+		return 0, 0, fmt.Errorf("bad -cells y count %q", yStr)
+	}
+	return cx, cy, nil
+}
+
+// runMMTC drives the multi-cell sharded city and reports per-cell delivery
+// plus the network-wide tails, boundary coupling and simulator throughput.
+// Evaluation traffic starts at -warmup, like the -scale path.
+func runMMTC(stdout, stderr io.Writer, nodes, cx, cy int, degree float64, mk qma.MAC, delta, duration, warmup float64, seed uint64, parallel int) int {
+	sc := &qma.MMTCScenario{
+		Nodes:           nodes,
+		CellsX:          cx,
+		CellsY:          cy,
+		Degree:          degree,
+		MAC:             mk,
+		Seed:            seed,
+		DurationSeconds: duration,
+		Rate:            delta,
+		StartSeconds:    warmup,
+		Parallel:        parallel,
+	}
+	runStart := time.Now()
+	res, err := sc.Run()
+	if err != nil {
+		fmt.Fprintln(stderr, "qma-sim:", err)
+		return 1
+	}
+	wall := time.Since(runStart)
+
+	routed := 0
+	for i := range res.Cells {
+		routed += res.Cells[i].Routed
+	}
+	fmt.Fprintf(stdout, "city            %d devices in %dx%d cells (%d routed, %d boundary links)\n",
+		nodes, cx, cy, routed, res.BoundaryLinks)
+	fmt.Fprintf(stdout, "simulated       %.1fs under %s in %v (build + run)\n", duration, mk, wall.Round(time.Millisecond))
+	fmt.Fprintf(stdout, "events          %d (%.0f events/s wall clock)\n", res.Events, float64(res.Events)/wall.Seconds())
+	if res.Truncated {
+		fmt.Fprintln(stdout, "WARNING: at least one cell hit its event budget; results are truncated")
+	}
+	fmt.Fprintf(stdout, "network PDR     %.3f   mean delay %.3fs   p50/p95/p99 %.3f/%.3f/%.3fs\n",
+		res.NetworkPDR, res.MeanDelaySeconds, res.DelayP50Seconds, res.DelayP95Seconds, res.DelayP99Seconds)
+	fmt.Fprintf(stdout, "cross-cell      %.1f%% of transmissions mirrored into a neighbour cell\n\n", 100*res.CrossCellFraction)
+	fmt.Fprintf(stdout, "%-6s %-7s %-7s %-6s %-9s %-8s %-9s %s\n", "cell", "nodes", "routed", "pdr", "delay[s]", "edge-tx", "foreign", "events")
+	for _, c := range res.Cells {
+		fmt.Fprintf(stdout, "%-6d %-7d %-7d %-6.3f %-9.3f %-8d %-9d %d\n",
+			c.Cell, c.Nodes, c.Routed, c.PDR, c.MeanDelaySeconds, c.EdgeTx, c.ForeignBusy, c.Events)
+	}
 	return 0
 }
 

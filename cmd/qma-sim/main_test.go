@@ -59,6 +59,16 @@ func TestSemanticFlagErrorsExitNonZero(t *testing.T) {
 		{"fault node out of range", []string{"-fault-outage", "99@10+5", "-duration", "1"}, "out of range"},
 		{"fault on dsme path", []string{"-dsme", "-fault-reboot", "0@1"}, "-fault-"},
 		{"fault on scale path", []string{"-scale", "50", "-fault-reboot", "0@1"}, "-fault-"},
+		{"cells without mmtc", []string{"-cells", "2x2", "-duration", "1"}, "-cells requires -mmtc"},
+		{"cells bad spec", []string{"-mmtc", "100", "-cells", "2by2", "-duration", "1", "-warmup", "0"}, "-cells"},
+		{"cells zero count", []string{"-mmtc", "100", "-cells", "0x2", "-duration", "1", "-warmup", "0"}, "-cells"},
+		{"mmtc with scale", []string{"-mmtc", "100", "-scale", "50", "-duration", "1"}, "-mmtc"},
+		{"mmtc with dsme", []string{"-mmtc", "100", "-dsme", "-duration", "1"}, "-mmtc"},
+		{"mmtc with mac-opt", []string{"-mmtc", "100", "-mac", "csma-unslotted", "-mac-opt", "minbe=2", "-duration", "1"}, "-mac-opt"},
+		{"mmtc with summary-only", []string{"-mmtc", "100", "-summary-only", "-duration", "1"}, "-summary-only"},
+		{"mmtc with faults", []string{"-mmtc", "100", "-fault-reboot", "0@1", "-duration", "1"}, "-fault-"},
+		{"mmtc warmup past duration", []string{"-mmtc", "100", "-duration", "1", "-warmup", "2"}, "-warmup"},
+		{"mmtc too few nodes per cell", []string{"-mmtc", "10", "-cells", "4x4", "-duration", "1", "-warmup", "0"}, "too small"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -94,5 +104,54 @@ func TestFaultFlagsReachTheRun(t *testing.T) {
 	}
 	if !strings.Contains(out, "network PDR") {
 		t.Fatalf("run did not complete:\n%s", out)
+	}
+}
+
+// TestMMTCFlagRunsShardedCity drives a small sharded city end to end through
+// the CLI and checks the per-cell table and network summary render.
+func TestMMTCFlagRunsShardedCity(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration run")
+	}
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-mmtc", "400", "-cells", "2x1", "-delta", "0.2",
+		"-duration", "8", "-warmup", "2", "-seed", "1",
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{
+		"400 devices in 2x1 cells",
+		"boundary links",
+		"network PDR",
+		"cross-cell",
+		"cell   nodes   routed",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Two cell rows: one per cell of the 2x1 grid.
+	if got := strings.Count(out, "\n"); got < 8 {
+		t.Fatalf("suspiciously short output (%d lines):\n%s", got, out)
+	}
+}
+
+// TestSummaryOnlyFlagSkipsPerNodeTable pins the -summary-only contract on
+// the plain path: network totals only, no per-node rows.
+func TestSummaryOnlyFlagSkipsPerNodeTable(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-summary-only", "-duration", "10", "-warmup", "2", "-delta", "2", "-seed", "1"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "network PDR") || !strings.Contains(out, "events") {
+		t.Fatalf("summary line missing:\n%s", out)
+	}
+	if strings.Contains(out, "policy") {
+		t.Fatalf("per-node table rendered despite -summary-only:\n%s", out)
 	}
 }

@@ -26,15 +26,57 @@ type baselineCase struct {
 	name  string
 	net   *topo.Network
 	delta float64
+	// packets and warmup override the mode's Packets/Warmup when non-zero —
+	// the paper-scale hall track would otherwise simulate for hours.
+	packets int
+	warmup  sim.Time
+	// budgeted selects the per-protocol event budgets profiled for the
+	// 10k-node track; healthy runs stay far below them.
+	budgeted bool
 }
 
 func baselineCases() []baselineCase {
 	return []baselineCase{
-		{"hidden-node", topo.HiddenNode(), 10},
-		{"tree10", topo.Tree10(), 3},
-		{"factory-hall-40", topo.FactoryHall(topo.FactoryConfig{Nodes: 40, Seed: 42}), 2},
+		{name: "hidden-node", net: topo.HiddenNode(), delta: 10},
+		{name: "tree10", net: topo.Tree10(), delta: 3},
+		{name: "factory-hall-40", net: topo.FactoryHall(topo.FactoryConfig{Nodes: 40, Seed: 42}), delta: 2},
 	}
 }
+
+// fullHallCase is the paper-scale track (ROADMAP: "baselines at paper
+// scale"): the 10,000-node factory hall the spatial index and SoA hot state
+// exist for, enabled in full mode only. δ=0.2 with 20 packets per source
+// keeps one replication around 150 simulated seconds (~2×10⁸ kernel events),
+// inside every protocol's profiled budget.
+func fullHallCase() baselineCase {
+	return baselineCase{
+		name:     "factory-hall-10k",
+		net:      topo.FactoryHall(topo.FactoryConfig{Nodes: 10000, Seed: 42}),
+		delta:    0.2,
+		packets:  20,
+		warmup:   20 * sim.Second,
+		budgeted: true,
+	}
+}
+
+// fullHallEventBudgets caps one 10k-hall replication per protocol, so a
+// protocol that collapses into a retry storm at scale truncates (and is
+// reported as such) instead of pinning a worker for hours. Each budget is
+// ~120 s of wall clock at the events/s wall rate measured by
+// `go test -bench BenchmarkProtocolMatrix` (2026-08: aloha 2.2M, bandit
+// 2.7M, csma-slotted 3.3M, csma-unslotted 3.6M, noma 2.8M, qma 5.5M) —
+// roughly 1.5–3× the ~2×10⁸ events a healthy replication processes.
+// Protocols without a profile entry get the most conservative budget.
+var fullHallEventBudgets = map[scenario.MACKind]uint64{
+	"aloha":          250e6,
+	"bandit":         330e6,
+	"csma-slotted":   400e6,
+	"csma-unslotted": 430e6,
+	"noma":           330e6,
+	"qma":            660e6,
+}
+
+const fullHallDefaultBudget uint64 = 250e6
 
 // baselineMACs returns every registered protocol the family can compare
 // fairly, in the registry's canonical order. The list is resolved at run
@@ -59,13 +101,27 @@ func baselineMACs() []scenario.MACKind {
 // streams Poisson(δ) evaluation traffic towards the sink after a low-rate
 // management phase, identically for every protocol under test.
 func baselineConfig(c baselineCase, mk scenario.MACKind, mode Mode, seed uint64) scenario.Config {
-	gen := sim.FromSeconds(float64(mode.Packets) / c.delta)
+	packets, warmup := mode.Packets, mode.Warmup
+	if c.packets > 0 {
+		packets = c.packets
+	}
+	if c.warmup > 0 {
+		warmup = c.warmup
+	}
+	gen := sim.FromSeconds(float64(packets) / c.delta)
 	cfg := scenario.Config{
 		Network:     c.net,
 		MAC:         mk,
 		Seed:        seed,
-		Duration:    mode.Warmup + gen + 30*sim.Second,
-		MeasureFrom: mode.Warmup,
+		Duration:    warmup + gen + 30*sim.Second,
+		MeasureFrom: warmup,
+	}
+	if c.budgeted {
+		budget, ok := fullHallEventBudgets[mk]
+		if !ok {
+			budget = fullHallDefaultBudget
+		}
+		cfg.EventBudget = budget
 	}
 	for i := 0; i < c.net.NumNodes(); i++ {
 		id := frame.NodeID(i)
@@ -76,7 +132,7 @@ func baselineConfig(c baselineCase, mk scenario.MACKind, mode Mode, seed uint64)
 			scenario.TrafficSpec{Origin: id, Phases: []traffic.Phase{{Rate: 0.2}},
 				StartAt: 1 * sim.Second, Tag: frame.TagManagement},
 			scenario.TrafficSpec{Origin: id, Phases: []traffic.Phase{{Rate: c.delta}},
-				StartAt: mode.Warmup, MaxPackets: mode.Packets, Tag: frame.TagEval},
+				StartAt: warmup, MaxPackets: packets, Tag: frame.TagEval},
 		)
 	}
 	return cfg
@@ -90,6 +146,11 @@ func baselineConfig(c baselineCase, mk scenario.MACKind, mode Mode, seed uint64)
 // floor). One table per topology, one row per protocol.
 func RunBaselines(mode Mode) []*Table {
 	cases := baselineCases()
+	if mode.Reps >= 10 {
+		// Paper-scale track: the 10k-node hall joins the sweep in full mode
+		// only, with the profiled per-protocol event budgets as a backstop.
+		cases = append(cases, fullHallCase())
+	}
 	macs := baselineMACs()
 	profile := energy.AT86RF231()
 	capDuty := float64(superframe.DefaultConfig().CAPDuration()) / float64(superframe.DefaultConfig().SuperframeDuration())
@@ -113,6 +174,9 @@ func RunBaselines(mode Mode) []*Table {
 				"pdr":       res.NetworkPDR(),
 				"delay":     res.MeanDelay(),
 				"delivered": delivered,
+			}
+			if res.Truncated {
+				out["trunc"] = 1
 			}
 			if delivered > 0 {
 				out["attPerPkt"] = attempts / delivered
@@ -139,7 +203,13 @@ func RunBaselines(mode Mode) []*Table {
 				att = ci(e["attPerPkt"].Mean, e["attPerPkt"].CI)
 				mjp = ci(e["mjPerPkt"].Mean, e["mjPerPkt"].CI)
 			}
-			t.AddRow(mk.String(),
+			name := mk.String()
+			if e["trunc"].Mean > 0 {
+				// The protocol hit its profiled event budget in at least one
+				// replication; its metrics cover the truncated window only.
+				name += " (truncated)"
+			}
+			t.AddRow(name,
 				ci(e["pdr"].Mean, e["pdr"].CI),
 				ci(e["delay"].Mean, e["delay"].CI),
 				att, mjp)

@@ -30,8 +30,9 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden di
 // hidden-node sweep, a testbed figure, the DSME scalability family, the
 // large-N scale family, the dynamics family, the cross-protocol baselines
 // family, the capture-enabled NOMA power-level family, the fault-injection
-// family and the overload/access-barring family.
-var goldenIDs = []string{"fig07-09", "fig18", "fig21-22", "scale", "dynamics", "baselines", "noma", "faults", "overload"}
+// family, the overload/access-barring family and the multi-cell sharded
+// mMTC family.
+var goldenIDs = []string{"fig07-09", "fig18", "fig21-22", "scale", "dynamics", "baselines", "noma", "faults", "overload", "mmtc"}
 
 // goldenDigest is the committed JSON shape.
 type goldenDigest struct {

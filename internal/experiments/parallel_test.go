@@ -52,6 +52,25 @@ func TestParallelRunsAreDeterministic(t *testing.T) {
 	}
 }
 
+// TestMMTCParallelDeterminism pins the same invariant for the sharded
+// multi-cell family, whose parallelism lives inside one run (cells on a
+// worker pool) rather than across replications. Reps=1 selects the reduced
+// golden-size city, keeping the double run cheap.
+func TestMMTCParallelDeterminism(t *testing.T) {
+	seqMode := tinyMode(1)
+	seqMode.Reps = 1
+	parMode := tinyMode(8)
+	parMode.Reps = 1
+	seq, ok := Run("mmtc", seqMode)
+	if !ok {
+		t.Fatal("mmtc not registered")
+	}
+	par, _ := Run("mmtc", parMode)
+	if got, want := render(par), render(seq); got != want {
+		t.Errorf("mmtc: Parallel=8 output differs from Parallel=1\n--- parallel ---\n%s--- sequential ---\n%s", got, want)
+	}
+}
+
 // TestRunRepeatabilitySameMode guards against hidden global state (shared
 // pools, package-level rngs) leaking between invocations: running the same
 // experiment twice in one process must give identical tables.

@@ -76,6 +76,19 @@ type NodeStats struct {
 	CCABusy uint64
 }
 
+// Accumulate adds another node's counters into s — the sharded runner's
+// per-cell radio aggregation.
+func (s *NodeStats) Accumulate(o NodeStats) {
+	s.TxCount += o.TxCount
+	s.TxAirtime += o.TxAirtime
+	s.RxDelivered += o.RxDelivered
+	s.RxCollided += o.RxCollided
+	s.RxCaptured += o.RxCaptured
+	s.RxFaded += o.RxFaded
+	s.CCACount += o.CCACount
+	s.CCABusy += o.CCABusy
+}
+
 // Medium is the shared wireless channel. It is bound to one simulation
 // kernel and is not safe for concurrent use.
 //
@@ -165,6 +178,15 @@ type Medium struct {
 	txPool    []*transmission
 	endTXFn   func(any)
 	busyEndFn func(any)
+
+	// txObserver, when set, observes every transmission start (the sharded
+	// runner's edge-transmission recorder); foreignPool and the foreign
+	// start/end callbacks back ScheduleForeignBusy, the cross-shard
+	// busy-mirroring primitive. See foreign.go.
+	txObserver     TxObserver
+	foreignPool    []*foreignTX
+	foreignStartFn func(any)
+	foreignEndFn   func(any)
 
 	// invariantChecks enables the opt-in runtime self-checks (busy counters
 	// must never go negative). Tests and fuzz harnesses enable them.
@@ -404,6 +426,9 @@ func (m *Medium) StartTX(src frame.NodeID, f *frame.Frame, reduceDB float64) sim
 
 	m.k.AtCallEarly(end, m.busyEndFn, t)
 	m.k.AtCall(end, m.endTXFn, t)
+	if m.txObserver != nil {
+		m.txObserver(src, f.Channel, now, end)
+	}
 	return end
 }
 

@@ -192,6 +192,14 @@ type Config struct {
 	// Result.Truncated. Replicated sweeps use them to bound runaway runs.
 	EventBudget uint64
 	WallBudget  time.Duration
+	// SummaryOnly skips materializing the per-node NodeResult slice: the run
+	// accumulates only network-wide totals (generated, delivered, delay sum)
+	// into Result.Summary, so result memory is O(1) instead of O(N) — the
+	// mMTC scale-out path, where N reaches 100k–1M per run. Per-node
+	// observations remain available through the OnEvalGenerate/OnEvalDeliver
+	// hooks. Incompatible with SamplePeriod (per-node series need per-node
+	// results).
+	SummaryOnly bool
 	// InvariantChecks enables the runtime self-checks of the kernel, the
 	// medium and the frame pool for this run (tests and fuzz harnesses).
 	InvariantChecks bool
@@ -262,10 +270,24 @@ func (n *NodeResult) MeanDelay() float64 {
 	return (sim.Time(float64(n.DelaySum) / float64(n.Delivered))).Seconds()
 }
 
+// Summary holds the network-wide totals of a SummaryOnly run.
+type Summary struct {
+	// Generated counts evaluation packets originated anywhere; Delivered
+	// counts evaluation packets accepted at their sink; DelaySum accumulates
+	// the delivered packets' end-to-end delays.
+	Generated uint64
+	Delivered uint64
+	DelaySum  sim.Time
+}
+
 // Result is the outcome of one run.
 type Result struct {
-	// Nodes holds one entry per node, indexed by dense id.
+	// Nodes holds one entry per node, indexed by dense id (nil for
+	// SummaryOnly runs).
 	Nodes []NodeResult
+	// Summary holds the network-wide totals of a SummaryOnly run (nil
+	// otherwise — the totals then live in Nodes).
+	Summary *Summary
 	// Clock is the superframe clock the run used.
 	Clock *superframe.Clock
 	// Duration is the simulated time actually run.
@@ -282,6 +304,9 @@ type Result struct {
 // across all origins (the headline Fig. 7 metric).
 func (r *Result) NetworkPDR() float64 {
 	var gen, del uint64
+	if r.Summary != nil {
+		gen, del = r.Summary.Generated, r.Summary.Delivered
+	}
 	for i := range r.Nodes {
 		gen += r.Nodes[i].Generated
 		del += r.Nodes[i].Delivered
@@ -297,6 +322,9 @@ func (r *Result) NetworkPDR() float64 {
 func (r *Result) MeanDelay() float64 {
 	var sum sim.Time
 	var n uint64
+	if r.Summary != nil {
+		sum, n = r.Summary.DelaySum, r.Summary.Delivered
+	}
 	for i := range r.Nodes {
 		sum += r.Nodes[i].DelaySum
 		n += r.Nodes[i].Delivered
@@ -413,6 +441,15 @@ func build(cfg Config) *run {
 	if cfg.Arena != nil {
 		pool, scratch = cfg.Arena.Begin()
 	}
+	result := &Result{Clock: clock, Duration: cfg.Duration}
+	if cfg.SummaryOnly {
+		if cfg.SamplePeriod > 0 {
+			panic("scenario: SummaryOnly is incompatible with SamplePeriod (per-node series need per-node results)")
+		}
+		result.Summary = &Summary{}
+	} else {
+		result.Nodes = make([]NodeResult, n)
+	}
 	r := &run{
 		cfg:     cfg,
 		kernel:  kernel,
@@ -422,12 +459,14 @@ func build(cfg Config) *run {
 		medium:  medium,
 		engines: make([]mac.Engine, n),
 		qma:     make([]*core.Engine, n),
-		result:  &Result{Nodes: make([]NodeResult, n), Clock: clock, Duration: cfg.Duration},
+		result:  result,
 	}
 
 	for i := 0; i < n; i++ {
 		id := frame.NodeID(i)
-		r.result.Nodes[i] = NodeResult{ID: id, Label: cfg.Network.Label(id)}
+		if !cfg.SummaryOnly {
+			r.result.Nodes[i] = NodeResult{ID: id, Label: cfg.Network.Label(id)}
+		}
 		r.engines[i] = r.buildEngine(id)
 		medium.Attach(id, r.engines[i])
 	}
@@ -621,9 +660,14 @@ func (r *run) macConfig(id frame.NodeID) mac.Config {
 			if f.Tag != frame.TagEval || f.Kind != frame.Data {
 				return
 			}
-			origin := &r.result.Nodes[f.Origin]
-			origin.Delivered++
-			origin.DelaySum += r.kernel.Now() - f.CreatedAt
+			if s := r.result.Summary; s != nil {
+				s.Delivered++
+				s.DelaySum += r.kernel.Now() - f.CreatedAt
+			} else {
+				origin := &r.result.Nodes[f.Origin]
+				origin.Delivered++
+				origin.DelaySum += r.kernel.Now() - f.CreatedAt
+			}
 			if r.cfg.OnEvalDeliver != nil {
 				r.cfg.OnEvalDeliver(f.Origin, f.CreatedAt, r.kernel.Now())
 			}
@@ -694,7 +738,10 @@ func (r *run) buildTraffic() {
 		if !ok {
 			panic(fmt.Sprintf("scenario: node %d has no route to the sink", spec.Origin))
 		}
-		node := &r.result.Nodes[spec.Origin]
+		var node *NodeResult
+		if r.result.Summary == nil {
+			node = &r.result.Nodes[spec.Origin]
+		}
 		src := &traffic.Source{
 			Kernel:     r.kernel,
 			Rng:        sim.NewRandStream(r.cfg.Seed, 2000+uint64(spec.Origin)+uint64(spec.Tag)*500),
@@ -711,7 +758,11 @@ func (r *run) buildTraffic() {
 			Pool:       r.pool,
 			OnGenerate: func(f *frame.Frame) {
 				if f.Tag == frame.TagEval {
-					node.Generated++
+					if node != nil {
+						node.Generated++
+					} else {
+						r.result.Summary.Generated++
+					}
 					if r.cfg.OnEvalGenerate != nil {
 						r.cfg.OnEvalGenerate(f.Origin, r.kernel.Now())
 					}
@@ -760,10 +811,14 @@ func (r *run) armSampler() {
 	r.kernel.Schedule(r.cfg.SamplePeriod, tick)
 }
 
-// collect copies the end-of-run counters into the result.
+// collect copies the end-of-run counters into the result. SummaryOnly runs
+// collect nothing per node — their totals accumulated during the run.
 func (r *run) collect() {
 	r.result.Events = r.kernel.Processed()
 	r.result.Truncated = r.kernel.BudgetExhausted()
+	if r.result.Summary != nil {
+		return
+	}
 	for i, e := range r.engines {
 		node := &r.result.Nodes[i]
 		node.MAC = e.Base().Stats()

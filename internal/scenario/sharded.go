@@ -1,0 +1,402 @@
+// Sharded multi-cell execution: the mMTC scale-out path. A topo.City is run
+// as one sub-simulation per cell — each cell owns its kernel, medium, CSR
+// link arrays, busy counters, engines and traffic, so cells park on
+// different cores with zero shared mutable state. Cells advance in lockstep
+// epochs (one beacon interval by default) on a worker pool; at each epoch
+// barrier the edge-node transmissions recorded during the epoch are
+// exchanged in deterministic cell order and mirrored into the neighbouring
+// shards' busy accounting (radio.Medium.ScheduleForeignBusy) one epoch
+// later. Interior nodes never synchronize; determinism holds for every
+// worker count because workers only ever touch their own cell and the
+// exchange happens single-threaded at the barrier.
+//
+// The one-epoch mirroring lag is the model's fidelity trade: cross-cell
+// energy reaches a neighbour cell's CCA one beacon interval late. It is
+// what makes the shards independent within an epoch — the alternative, a
+// same-instant exchange, would serialize the cells. A 1-cell city has no
+// boundary links, takes no injections and is byte-identical to the
+// monolithic runner (TestShardedSingleCellMatchesMonolithic pins this).
+package scenario
+
+import (
+	"fmt"
+
+	"qma/internal/frame"
+	"qma/internal/radio"
+	"qma/internal/sim"
+	"qma/internal/stats"
+	"qma/internal/superframe"
+	"qma/internal/topo"
+	"qma/internal/traffic"
+)
+
+// ShardedConfig describes one multi-cell sharded run.
+type ShardedConfig struct {
+	// City is the cell-partitioned deployment; required.
+	City *topo.City
+	// MAC selects the channel access scheme by registry key ("" = QMA).
+	MAC MACKind
+	// QMA tunes QMA engines; MACOptions overrides for any protocol.
+	QMA        QMAOptions
+	MACOptions any
+	// QueueCap and MaxRetries mirror Config.
+	QueueCap   int
+	MaxRetries int
+	// Seed selects the random streams. Cell 0 uses it verbatim; cell c
+	// derives Seed + c·φ (a fixed odd 64-bit constant), so per-cell streams
+	// never collide and a 1-cell run is byte-identical to the monolithic
+	// runner under the same seed.
+	Seed uint64
+	// Duration is the simulated time.
+	Duration sim.Time
+	// Rate is the per-device Poisson data rate in packets/second; every
+	// routed device of every cell carries one evaluation source.
+	Rate float64
+	// StartAt delays traffic; MaxPackets bounds each source (0 = unbounded).
+	StartAt    sim.Time
+	MaxPackets int
+	// Epoch is the barrier period for the boundary-interference exchange
+	// (0 = one superframe, the beacon interval).
+	Epoch sim.Time
+	// Window is the streaming stats window in simulated time (0 = 1 s).
+	Window sim.Time
+	// Parallel bounds the worker pool driving the cells (0 = GOMAXPROCS,
+	// 1 = sequential). Results are byte-identical for every value.
+	Parallel int
+	// Superframe overrides the DSME timing (zero value selects the default).
+	Superframe superframe.Config
+	// EventBudget truncates each cell after this many kernel events when
+	// positive (a truncated cell stops advancing and marks the result).
+	EventBudget uint64
+	// InvariantChecks enables the runtime self-checks in every cell.
+	InvariantChecks bool
+
+	// edgeTargets overrides the boundary-link enumeration (tests: the naive
+	// unsharded reference re-derives targets quadratically from positions).
+	// nil selects City.EdgeTargets.
+	edgeTargets func(cell int, src frame.NodeID) []topo.BoundaryTarget
+}
+
+// CellResult carries one cell's streamed aggregates. Memory is
+// O(1) + O(windows) per cell — no per-node state survives the run.
+type CellResult struct {
+	// Cell is the cell index; Nodes its node count (including the sink) and
+	// Routed how many devices had a route (and therefore a traffic source).
+	Cell   int
+	Nodes  int
+	Routed int
+	// Generated/Delivered/DelaySum are the cell's evaluation traffic totals.
+	Generated uint64
+	Delivered uint64
+	DelaySum  sim.Time
+	// Delay is the mergeable end-to-end delay digest (seconds).
+	Delay stats.Digest
+	// Windows are the per-window PDR/delay accumulators.
+	Windows []stats.WindowCounts
+	// Radio sums the medium counters over the cell's nodes.
+	Radio radio.NodeStats
+	// EdgeTx counts transmissions mirrored into at least one neighbour;
+	// ForeignBusy counts busy windows mirrored into this cell.
+	EdgeTx      uint64
+	ForeignBusy uint64
+	// Events is the cell kernel's processed event count; Truncated reports
+	// an exhausted per-cell event budget.
+	Events    uint64
+	Truncated bool
+}
+
+// PDR reports the cell's delivered/generated ratio (1 when idle).
+func (c *CellResult) PDR() float64 {
+	if c.Generated == 0 {
+		return 1
+	}
+	return float64(c.Delivered) / float64(c.Generated)
+}
+
+// ShardedResult is the outcome of one sharded run.
+type ShardedResult struct {
+	// Cells holds one entry per cell.
+	Cells []CellResult
+	// Duration is the simulated time; EpochLen and Window echo the resolved
+	// barrier and stats periods.
+	Duration sim.Time
+	EpochLen sim.Time
+	Window   sim.Time
+	// Epochs counts the executed barrier intervals.
+	Epochs int
+	// Events sums the cells' kernel events; Truncated reports any truncated
+	// cell.
+	Events    uint64
+	Truncated bool
+}
+
+// NetworkPDR reports total delivered / total generated across all cells.
+func (r *ShardedResult) NetworkPDR() float64 {
+	var gen, del uint64
+	for i := range r.Cells {
+		gen += r.Cells[i].Generated
+		del += r.Cells[i].Delivered
+	}
+	if gen == 0 {
+		return 1
+	}
+	return float64(del) / float64(gen)
+}
+
+// MeanDelay reports the mean end-to-end delay over all delivered evaluation
+// packets, in seconds.
+func (r *ShardedResult) MeanDelay() float64 {
+	var sum sim.Time
+	var n uint64
+	for i := range r.Cells {
+		sum += r.Cells[i].DelaySum
+		n += r.Cells[i].Delivered
+	}
+	if n == 0 {
+		return 0
+	}
+	return (sim.Time(float64(sum) / float64(n))).Seconds()
+}
+
+// DelayDigest merges the per-cell delay digests into the network-wide
+// sketch (merging is exact).
+func (r *ShardedResult) DelayDigest() stats.Digest {
+	var d stats.Digest
+	for i := range r.Cells {
+		d.Merge(&r.Cells[i].Delay)
+	}
+	return d
+}
+
+// CrossCellFraction reports the fraction of transmissions that were
+// mirrored into at least one neighbouring cell — the boundary-interference
+// coupling of the partition (0 when nothing transmitted).
+func (r *ShardedResult) CrossCellFraction() float64 {
+	var edge, tx uint64
+	for i := range r.Cells {
+		edge += r.Cells[i].EdgeTx
+		tx += r.Cells[i].Radio.TxCount
+	}
+	if tx == 0 {
+		return 0
+	}
+	return float64(edge) / float64(tx)
+}
+
+// cellSeedStride is the per-cell seed offset (the 64-bit golden-ratio
+// constant; odd, so distinct cells never collide within uint64 wrap).
+const cellSeedStride = 0x9E3779B97F4A7C15
+
+// cellSeed derives cell c's seed. Cell 0 keeps the configured seed, which
+// is what makes a 1-cell sharded run byte-identical to the monolithic one.
+func cellSeed(seed uint64, cell int) uint64 {
+	return seed + uint64(cell)*cellSeedStride
+}
+
+// edgeTX records one transmission by a boundary node, pending exchange.
+type edgeTX struct {
+	src        frame.NodeID
+	channel    uint8
+	start, end sim.Time
+}
+
+// foreignInj is one busy window to mirror into a cell next epoch.
+type foreignInj struct {
+	node       frame.NodeID
+	channel    uint8
+	start, end sim.Time
+}
+
+// shardCell is one cell's live state during a sharded run.
+type shardCell struct {
+	run     *run
+	routed  int
+	delay   stats.Digest
+	windows *stats.Windowed
+	outbox  []edgeTX
+	inbox   []foreignInj
+	// failed latches a panic inside this cell's epoch job: the kernel state
+	// is unrecoverable, so the retry the worker pool would attempt must
+	// re-panic instead of silently resuming a corrupt simulation.
+	failed  bool
+	failure any
+}
+
+// RunSharded executes the multi-cell sharded simulation. Like Run it panics
+// on configuration errors and never on simulation behaviour; a panic inside
+// a cell's epoch (a simulator bug) propagates instead of being dropped.
+func RunSharded(cfg ShardedConfig) *ShardedResult {
+	if cfg.City == nil {
+		panic("scenario: City is required")
+	}
+	if cfg.Duration <= 0 {
+		panic("scenario: Duration must be positive")
+	}
+	if cfg.Rate <= 0 {
+		panic("scenario: Rate must be positive")
+	}
+	sfCfg := cfg.Superframe
+	if sfCfg == (superframe.Config{}) {
+		sfCfg = superframe.DefaultConfig()
+	}
+	epoch := cfg.Epoch
+	if epoch <= 0 {
+		epoch = sfCfg.SuperframeDuration()
+	}
+	window := cfg.Window
+	if window <= 0 {
+		window = sim.Second
+	}
+	edgeTargets := cfg.edgeTargets
+	if edgeTargets == nil {
+		edgeTargets = cfg.City.EdgeTargets
+	}
+
+	city := cfg.City
+	cells := make([]*shardCell, city.NumCells())
+
+	// Build every cell as an independent SummaryOnly sub-simulation. Builds
+	// are heavy at mMTC scale (engines, CSR arrays), so they run on the
+	// worker pool too; each build writes only its own cell.
+	if errs := stats.ForEachWorker(len(cells), cfg.Parallel, func(_, c int) {
+		sc := &shardCell{windows: stats.NewWindowed(window.Seconds())}
+		net := city.Cells[c]
+		cellCfg := Config{
+			Network:         net,
+			MAC:             cfg.MAC,
+			QMA:             cfg.QMA,
+			MACOptions:      cfg.MACOptions,
+			QueueCap:        cfg.QueueCap,
+			MaxRetries:      cfg.MaxRetries,
+			Seed:            cellSeed(cfg.Seed, c),
+			Duration:        cfg.Duration,
+			Superframe:      cfg.Superframe,
+			EventBudget:     cfg.EventBudget,
+			InvariantChecks: cfg.InvariantChecks,
+			SummaryOnly:     true,
+			OnEvalGenerate: func(_ frame.NodeID, at sim.Time) {
+				sc.windows.ObserveGenerate(at.Seconds())
+			},
+			OnEvalDeliver: func(_ frame.NodeID, createdAt, at sim.Time) {
+				delay := (at - createdAt).Seconds()
+				sc.delay.Add(delay)
+				sc.windows.ObserveDeliver(at.Seconds(), delay)
+			},
+		}
+		for i := 1; i < net.NumNodes(); i++ {
+			id := frame.NodeID(i)
+			if net.Parent[id] < 0 {
+				continue // detached device: no route, no source
+			}
+			cellCfg.Traffic = append(cellCfg.Traffic, TrafficSpec{
+				Origin:     id,
+				Phases:     []traffic.Phase{{Rate: cfg.Rate}},
+				StartAt:    cfg.StartAt,
+				MaxPackets: cfg.MaxPackets,
+				Tag:        frame.TagEval,
+			})
+		}
+		sc.routed = len(cellCfg.Traffic)
+		sc.run = build(cellCfg)
+		cells[c] = sc
+	}); errs != nil {
+		panic(fmt.Sprintf("scenario: sharded cell build failed: %v", errs[0]))
+	}
+
+	res := &ShardedResult{
+		Cells:    make([]CellResult, len(cells)),
+		Duration: cfg.Duration,
+		EpochLen: epoch,
+		Window:   window,
+	}
+	for c, sc := range cells {
+		c, sc := c, sc
+		cr := &res.Cells[c]
+		// Record edge-node transmissions for the barrier exchange. The
+		// observer changes no medium state, so interior-only cells (and
+		// 1-cell cities) stay byte-identical to the monolithic run.
+		sc.run.medium.SetTxObserver(func(src frame.NodeID, channel uint8, start, end sim.Time) {
+			if len(edgeTargets(c, src)) == 0 {
+				return
+			}
+			sc.outbox = append(sc.outbox, edgeTX{src: src, channel: channel, start: start, end: end})
+			cr.EdgeTx++
+		})
+	}
+
+	// Epoch loop: cells advance independently to the barrier, then the
+	// coordinator exchanges the recorded edge transmissions in cell order —
+	// single-threaded, so the injection schedule (and with it the whole run)
+	// is byte-identical for every worker count.
+	for now := sim.Time(0); now < cfg.Duration; {
+		end := now + epoch
+		if end > cfg.Duration {
+			end = cfg.Duration
+		}
+		if errs := stats.ForEachWorker(len(cells), cfg.Parallel, func(_, c int) {
+			sc := cells[c]
+			if sc.failed {
+				panic(sc.failure) // poisoned by an earlier panic: do not resume
+			}
+			if sc.run.kernel.BudgetExhausted() {
+				return
+			}
+			defer func() {
+				if v := recover(); v != nil {
+					sc.failed, sc.failure = true, v
+					panic(v)
+				}
+			}()
+			for _, inj := range sc.inbox {
+				sc.run.medium.ScheduleForeignBusy(inj.node, inj.channel, inj.start, inj.end)
+			}
+			res.Cells[c].ForeignBusy += uint64(len(sc.inbox))
+			sc.inbox = sc.inbox[:0]
+			sc.run.kernel.Run(end)
+		}); errs != nil {
+			panic(fmt.Sprintf("scenario: sharded epoch failed: %v", errs[0]))
+		}
+		for c, sc := range cells {
+			for _, tx := range sc.outbox {
+				for _, tgt := range edgeTargets(c, tx.src) {
+					dst := cells[tgt.Cell]
+					if dst.run.kernel.BudgetExhausted() {
+						continue
+					}
+					// Mirrored one epoch late: the earliest possible start
+					// (epoch begin + epoch) is exactly the next barrier, so
+					// the injection is never in the target kernel's past.
+					dst.inbox = append(dst.inbox, foreignInj{
+						node:    tgt.Node,
+						channel: tx.channel,
+						start:   tx.start + epoch,
+						end:     tx.end + epoch,
+					})
+				}
+			}
+			sc.outbox = sc.outbox[:0]
+		}
+		res.Epochs++
+		now = end
+	}
+
+	for c, sc := range cells {
+		sc.run.collect()
+		cr := &res.Cells[c]
+		cr.Cell = c
+		cr.Nodes = city.Cells[c].NumNodes()
+		cr.Routed = sc.routed
+		s := sc.run.result.Summary
+		cr.Generated, cr.Delivered, cr.DelaySum = s.Generated, s.Delivered, s.DelaySum
+		cr.Delay = sc.delay
+		cr.Windows = sc.windows.Windows()
+		for i := 0; i < cr.Nodes; i++ {
+			cr.Radio.Accumulate(sc.run.medium.Stats(frame.NodeID(i)))
+		}
+		cr.Events = sc.run.result.Events
+		cr.Truncated = sc.run.result.Truncated
+		res.Events += cr.Events
+		res.Truncated = res.Truncated || cr.Truncated
+	}
+	return res
+}

@@ -1,0 +1,214 @@
+package stats
+
+import "math"
+
+// This file is the streaming-statistics layer of the mMTC scale-out path:
+// fixed-size, mergeable accumulators that replace per-node result arrays on
+// 100k–1M-node runs. A Digest answers delay-quantile queries in O(1) memory
+// per cell, a Windowed tracks per-window PDR counters in O(windows) memory —
+// together a sharded city run's result footprint is O(cells + windows)
+// instead of O(N).
+
+// Digest bucket layout: digestDecades decades of digestPerDecade
+// log-spaced buckets starting at digestMin, plus an underflow bucket in
+// front and an overflow bucket at the back. With 32 buckets per decade the
+// bucket edge ratio is 10^(1/32) ≈ 1.075, so quantile answers carry at most
+// ~7.5% relative error — far below the run-to-run variance of any delay
+// percentile the tables report — at a fixed 2 KB per digest.
+const (
+	digestMin       = 1e-4 // smallest resolved value (0.1 ms as seconds)
+	digestPerDecade = 32
+	digestDecades   = 8
+	digestBuckets   = digestPerDecade*digestDecades + 2
+)
+
+// Digest is a fixed-size, mergeable quantile sketch over positive values
+// (delays in seconds). The zero value is ready to use; merging digests from
+// independent shards is exact (bucket counts add), so per-cell digests
+// aggregate to network-wide percentiles without retaining observations.
+type Digest struct {
+	count    uint64
+	min, max float64
+	buckets  [digestBuckets]uint64
+}
+
+// digestIndex maps a value to its bucket.
+func digestIndex(v float64) int {
+	if !(v >= digestMin) { // negatives, zero and NaN all underflow
+		return 0
+	}
+	i := 1 + int(math.Log10(v/digestMin)*digestPerDecade)
+	if i >= digestBuckets {
+		return digestBuckets - 1
+	}
+	return i
+}
+
+// Add incorporates one observation.
+func (d *Digest) Add(v float64) {
+	if d.count == 0 || v < d.min {
+		d.min = v
+	}
+	if d.count == 0 || v > d.max {
+		d.max = v
+	}
+	d.count++
+	d.buckets[digestIndex(v)]++
+}
+
+// N reports the number of observations.
+func (d *Digest) N() uint64 { return d.count }
+
+// Min and Max report the exact observed extremes (0 when empty).
+func (d *Digest) Min() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.min
+}
+
+// Max reports the largest observation (0 when empty).
+func (d *Digest) Max() float64 {
+	if d.count == 0 {
+		return 0
+	}
+	return d.max
+}
+
+// Merge folds another digest into d. Merging is exact: the result is
+// identical to a digest fed both observation streams.
+func (d *Digest) Merge(o *Digest) {
+	if o.count == 0 {
+		return
+	}
+	if d.count == 0 || o.min < d.min {
+		d.min = o.min
+	}
+	if d.count == 0 || o.max > d.max {
+		d.max = o.max
+	}
+	d.count += o.count
+	for i := range d.buckets {
+		d.buckets[i] += o.buckets[i]
+	}
+}
+
+// bucketValue is the representative value reported for bucket i: the
+// geometric midpoint of its edges (the exact extremes for the underflow and
+// overflow buckets, which have no finite edge).
+func (d *Digest) bucketValue(i int) float64 {
+	switch i {
+	case 0:
+		return d.min
+	case digestBuckets - 1:
+		return d.max
+	}
+	lo := digestMin * math.Pow(10, float64(i-1)/digestPerDecade)
+	return lo * math.Pow(10, 0.5/digestPerDecade)
+}
+
+// Quantile reports the q-quantile (0..1) as the representative value of the
+// bucket holding the rank, clamped to the observed [min, max]; NaN when
+// empty. Within a bucket the answer is the geometric midpoint, so the
+// relative error is bounded by half the bucket width (~3.7%).
+func (d *Digest) Quantile(q float64) float64 {
+	if d.count == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return d.min
+	}
+	if q >= 1 {
+		return d.max
+	}
+	rank := uint64(q * float64(d.count-1))
+	var cum uint64
+	for i := range d.buckets {
+		cum += d.buckets[i]
+		if cum > rank {
+			v := d.bucketValue(i)
+			if v < d.min {
+				v = d.min
+			}
+			if v > d.max {
+				v = d.max
+			}
+			return v
+		}
+	}
+	return d.max
+}
+
+// WindowCounts accumulates one time window of streaming PDR/delay state.
+type WindowCounts struct {
+	// Generated counts evaluation packets generated during the window;
+	// Delivered counts evaluation packets delivered during it (windowed by
+	// delivery instant, so a delivery can land in a later window than its
+	// generation — windowed PDR is a flow statistic, not a cohort one).
+	Generated uint64
+	Delivered uint64
+	// DelaySum accumulates the end-to-end delays (seconds) of the window's
+	// deliveries.
+	DelaySum float64
+}
+
+// Windowed streams observations into fixed-period windows. Memory is
+// O(observed windows); the zero value is invalid — use NewWindowed.
+type Windowed struct {
+	window float64
+	wins   []WindowCounts
+}
+
+// NewWindowed builds a window aggregator with the given period in seconds.
+func NewWindowed(window float64) *Windowed {
+	if window <= 0 {
+		panic("stats: Windowed period must be positive")
+	}
+	return &Windowed{window: window}
+}
+
+// Window reports the configured period in seconds.
+func (w *Windowed) Window() float64 { return w.window }
+
+// at grows the window slice to cover instant t and returns its window.
+func (w *Windowed) at(t float64) *WindowCounts {
+	i := int(t / w.window)
+	if i < 0 {
+		i = 0
+	}
+	for len(w.wins) <= i {
+		w.wins = append(w.wins, WindowCounts{})
+	}
+	return &w.wins[i]
+}
+
+// ObserveGenerate records an evaluation packet generated at instant t
+// (seconds).
+func (w *Windowed) ObserveGenerate(t float64) { w.at(t).Generated++ }
+
+// ObserveDeliver records a delivery at instant t with the given end-to-end
+// delay (both seconds).
+func (w *Windowed) ObserveDeliver(t, delay float64) {
+	win := w.at(t)
+	win.Delivered++
+	win.DelaySum += delay
+}
+
+// Windows returns the accumulated windows (callers must not mutate).
+func (w *Windowed) Windows() []WindowCounts { return w.wins }
+
+// Merge folds another aggregator with the same period into w, window by
+// window. Panics on a period mismatch.
+func (w *Windowed) Merge(o *Windowed) {
+	if w.window != o.window {
+		panic("stats: merging Windowed aggregators with different periods")
+	}
+	for len(w.wins) < len(o.wins) {
+		w.wins = append(w.wins, WindowCounts{})
+	}
+	for i := range o.wins {
+		w.wins[i].Generated += o.wins[i].Generated
+		w.wins[i].Delivered += o.wins[i].Delivered
+		w.wins[i].DelaySum += o.wins[i].DelaySum
+	}
+}

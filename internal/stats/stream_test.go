@@ -1,0 +1,118 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDigestEmpty(t *testing.T) {
+	var d Digest
+	if d.N() != 0 || d.Min() != 0 || d.Max() != 0 {
+		t.Fatalf("empty digest reports N=%d min=%v max=%v", d.N(), d.Min(), d.Max())
+	}
+	if !math.IsNaN(d.Quantile(0.5)) {
+		t.Fatalf("empty digest quantile = %v, want NaN", d.Quantile(0.5))
+	}
+}
+
+func TestDigestQuantileAccuracy(t *testing.T) {
+	// Log-normal delays spanning several decades: digest quantiles must stay
+	// within the bucket-width relative error of the exact sample quantiles.
+	rng := rand.New(rand.NewSource(7))
+	var d Digest
+	var s Sample
+	for i := 0; i < 20000; i++ {
+		v := math.Exp(rng.NormFloat64()*1.5 - 3) // median ~50 ms
+		d.Add(v)
+		s.Add(v)
+	}
+	for _, q := range []float64{0, 0.01, 0.25, 0.5, 0.9, 0.95, 0.99, 1} {
+		exact := s.Quantile(q)
+		got := d.Quantile(q)
+		if rel := math.Abs(got-exact) / exact; rel > 0.08 {
+			t.Errorf("q=%v: digest %v vs exact %v (rel err %.3f > 0.08)", q, got, exact, rel)
+		}
+	}
+	if d.Quantile(0) != d.Min() || d.Quantile(1) != d.Max() {
+		t.Errorf("extreme quantiles %v/%v should be exact min/max %v/%v",
+			d.Quantile(0), d.Quantile(1), d.Min(), d.Max())
+	}
+}
+
+func TestDigestOutOfRangeValues(t *testing.T) {
+	var d Digest
+	for _, v := range []float64{0, -1, 1e-9, math.NaN(), 1e9, 5e3} {
+		d.Add(v)
+	}
+	if d.N() != 6 {
+		t.Fatalf("N = %d, want 6", d.N())
+	}
+	// Quantiles must stay inside the observed (non-NaN comparable) range.
+	if got := d.Quantile(0.99); got > d.Max() {
+		t.Fatalf("q99 %v exceeds max %v", got, d.Max())
+	}
+}
+
+func TestDigestMergeExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var whole, a, b Digest
+	for i := 0; i < 5000; i++ {
+		v := math.Exp(rng.NormFloat64() - 2)
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a != whole {
+		t.Fatal("merged digest differs from the digest over the whole stream")
+	}
+	var empty Digest
+	a.Merge(&empty)
+	if a != whole {
+		t.Fatal("merging an empty digest changed the result")
+	}
+	empty.Merge(&whole)
+	if empty != whole {
+		t.Fatal("merging into an empty digest differs from a copy")
+	}
+}
+
+func TestWindowed(t *testing.T) {
+	w := NewWindowed(1)
+	w.ObserveGenerate(0.2)
+	w.ObserveGenerate(2.7)
+	w.ObserveDeliver(2.9, 0.2)
+	w.ObserveDeliver(3.1, 0.4)
+	wins := w.Windows()
+	if len(wins) != 4 {
+		t.Fatalf("got %d windows, want 4", len(wins))
+	}
+	if wins[0].Generated != 1 || wins[2].Generated != 1 {
+		t.Fatalf("generation windows wrong: %+v", wins)
+	}
+	if wins[2].Delivered != 1 || wins[3].Delivered != 1 || wins[3].DelaySum != 0.4 {
+		t.Fatalf("delivery windows wrong: %+v", wins)
+	}
+}
+
+func TestWindowedMerge(t *testing.T) {
+	a, b := NewWindowed(0.5), NewWindowed(0.5)
+	a.ObserveGenerate(0.1)
+	b.ObserveGenerate(0.1)
+	b.ObserveDeliver(1.4, 0.25)
+	a.Merge(b)
+	wins := a.Windows()
+	if len(wins) != 3 || wins[0].Generated != 2 || wins[2].Delivered != 1 || wins[2].DelaySum != 0.25 {
+		t.Fatalf("merged windows wrong: %+v", wins)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("merging mismatched periods should panic")
+		}
+	}()
+	a.Merge(NewWindowed(1))
+}

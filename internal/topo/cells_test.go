@@ -1,0 +1,162 @@
+package topo
+
+import (
+	"reflect"
+	"testing"
+
+	"qma/internal/frame"
+	"qma/internal/radio"
+)
+
+func TestCityPartition(t *testing.T) {
+	city := NewCity(CityConfig{Nodes: 400, CellsX: 2, CellsY: 2, Seed: 42})
+	if city.NumCells() != 4 {
+		t.Fatalf("got %d cells, want 4", city.NumCells())
+	}
+	total := 0
+	for cell, net := range city.Cells {
+		n := net.NumNodes()
+		total += n
+		if n < 1 {
+			t.Fatalf("cell %d is empty", cell)
+		}
+		if net.Sink != 0 {
+			t.Fatalf("cell %d sink = %d, want 0", cell, net.Sink)
+		}
+		// The sink sits at the cell center.
+		cx, cy := cell%2, cell/2
+		center := net.Positions[0]
+		if center.X != (float64(cx)+0.5)*city.CellW || center.Y != (float64(cy)+0.5)*city.CellH {
+			t.Fatalf("cell %d sink at %+v, want cell center", cell, center)
+		}
+		// Every device position falls inside the cell's rectangle.
+		for i, p := range net.Positions {
+			if p.X < float64(cx)*city.CellW-1e-9 || p.X > float64(cx+1)*city.CellW+1e-9 ||
+				p.Y < float64(cy)*city.CellH-1e-9 || p.Y > float64(cy+1)*city.CellH+1e-9 {
+				t.Fatalf("cell %d node %d at %+v escapes its cell", cell, i, p)
+			}
+		}
+		// Routing stays confined to the cell and reaches most nodes.
+		routed := 0
+		for i := 1; i < n; i++ {
+			if net.Depth(frame.NodeID(i)) >= 0 {
+				routed++
+			}
+		}
+		if routed < (n-1)/2 {
+			t.Errorf("cell %d routes only %d of %d devices", cell, routed, n-1)
+		}
+	}
+	if total != 400 {
+		t.Fatalf("cells hold %d nodes in total, want 400", total)
+	}
+}
+
+func TestCityDeterministic(t *testing.T) {
+	a := NewCity(CityConfig{Nodes: 300, CellsX: 3, CellsY: 1, Seed: 7})
+	b := NewCity(CityConfig{Nodes: 300, CellsX: 3, CellsY: 1, Seed: 7})
+	if !reflect.DeepEqual(a.Cells[1].Positions, b.Cells[1].Positions) {
+		t.Fatal("same seed produced different placements")
+	}
+	if a.BoundaryLinks() != b.BoundaryLinks() {
+		t.Fatal("same seed produced different boundary links")
+	}
+	c := NewCity(CityConfig{Nodes: 300, CellsX: 3, CellsY: 1, Seed: 8})
+	if reflect.DeepEqual(a.Cells[1].Positions, c.Cells[1].Positions) {
+		t.Fatal("different seeds produced identical placements")
+	}
+}
+
+func TestCitySingleCellHasNoBoundary(t *testing.T) {
+	city := NewCity(CityConfig{Nodes: 200, CellsX: 1, CellsY: 1, Seed: 3})
+	if city.BoundaryLinks() != 0 {
+		t.Fatalf("1-cell city has %d boundary links, want 0", city.BoundaryLinks())
+	}
+	if got := city.EdgeNodes(0); got != 0 {
+		t.Fatalf("1-cell city has %d edge nodes, want 0", got)
+	}
+}
+
+// TestCityBoundaryMatchesBruteForce cross-checks the grid-swept boundary
+// enumeration against a quadratic all-pairs reference over several seeds and
+// grid shapes: a directed link src→dst must exist iff the nodes live in
+// different cells within SenseRange, and the link set must be symmetric.
+func TestCityBoundaryMatchesBruteForce(t *testing.T) {
+	for _, tc := range []struct {
+		nodes, cx, cy int
+		seed          uint64
+	}{
+		{240, 2, 2, 1},
+		{300, 3, 2, 2},
+		{150, 4, 1, 3},
+	} {
+		city := NewCity(CityConfig{Nodes: tc.nodes, CellsX: tc.cx, CellsY: tc.cy, Seed: tc.seed})
+		type key struct {
+			sc int32
+			sn frame.NodeID
+			dc int32
+			dn frame.NodeID
+		}
+		want := map[key]bool{}
+		for ac, an := range city.Cells {
+			for bc, bn := range city.Cells {
+				if ac == bc {
+					continue
+				}
+				for i, pi := range an.Positions {
+					for j, pj := range bn.Positions {
+						if pi.Distance(pj) <= city.SenseRange {
+							want[key{int32(ac), frame.NodeID(i), int32(bc), frame.NodeID(j)}] = true
+						}
+					}
+				}
+			}
+		}
+		got := map[key]bool{}
+		links := 0
+		for cell, net := range city.Cells {
+			for s := 0; s < net.NumNodes(); s++ {
+				for _, tgt := range city.EdgeTargets(cell, frame.NodeID(s)) {
+					got[key{int32(cell), frame.NodeID(s), tgt.Cell, tgt.Node}] = true
+					links++
+				}
+			}
+		}
+		if links != city.BoundaryLinks() {
+			t.Errorf("%+v: CSR lists %d links, BoundaryLinks reports %d", tc, links, city.BoundaryLinks())
+		}
+		if len(got) != links {
+			t.Errorf("%+v: %d duplicate boundary links", tc, links-len(got))
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%+v: grid enumeration (%d links) differs from brute force (%d links)", tc, len(got), len(want))
+		}
+		for k := range got {
+			if !got[key{k.dc, k.dn, k.sc, k.sn}] {
+				t.Errorf("%+v: link %+v has no reverse", tc, k)
+			}
+		}
+		if city.BoundaryLinks() == 0 {
+			t.Errorf("%+v: expected some boundary links in a multi-cell city", tc)
+		}
+	}
+}
+
+func TestCityConfigValidation(t *testing.T) {
+	mustPanic := func(name string, fn func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: expected panic", name)
+			}
+		}()
+		fn()
+	}
+	mustPanic("too few nodes", func() { NewCity(CityConfig{Nodes: 5, CellsX: 3, CellsY: 1}) })
+	mustPanic("shadowing", func() {
+		cfg := CityConfig{Nodes: 100, CellsX: 2, CellsY: 1}
+		cfg.PathLoss = radio.DefaultPathLossConfig()
+		cfg.PathLoss.ShadowSigmaDB = 2
+		NewCity(cfg)
+	})
+}

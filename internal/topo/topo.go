@@ -305,19 +305,30 @@ func FactoryHall(cfg FactoryConfig) *Network {
 	}
 	pt := radio.NewPathLossTopology(cfg.PathLoss, pos)
 
-	// Min-hop routing tree by BFS from the sink over the decode links, using
-	// the grid-backed neighbor enumeration (O(N + E) total). A child's frames
-	// must be decodable at its parent, so the edge direction is
-	// CanDecode(child, parent). Frontier and candidate order are
-	// deterministic (ascending ids), so the same seed always yields the same
-	// tree; nodes outside the sink's component stay detached (Parent −1).
-	parent := make([]frame.NodeID, cfg.Nodes)
+	parent := bfsTree(pt, cfg.Nodes)
+	return &Network{
+		Name:      fmt.Sprintf("factory-%d", cfg.Nodes),
+		Topology:  pt,
+		Sink:      0,
+		Parent:    parent,
+		Positions: pos,
+	}
+}
+
+// bfsTree builds a min-hop routing tree by BFS from node 0 over the decode
+// links, using the grid-backed neighbor enumeration (O(N + E) total). A
+// child's frames must be decodable at its parent, so the edge direction is
+// CanDecode(child, parent). Frontier and candidate order are deterministic
+// (ascending ids), so the same positions always yield the same tree; nodes
+// outside the sink's component stay detached (Parent −1).
+func bfsTree(pt *radio.PathLossTopology, n int) []frame.NodeID {
+	parent := make([]frame.NodeID, n)
 	for i := range parent {
 		parent[i] = -1
 	}
-	visited := make([]bool, cfg.Nodes)
+	visited := make([]bool, n)
 	visited[0] = true
-	queue := make([]frame.NodeID, 0, cfg.Nodes)
+	queue := make([]frame.NodeID, 0, n)
 	queue = append(queue, 0)
 	var cand []frame.NodeID
 	for len(queue) > 0 {
@@ -333,13 +344,7 @@ func FactoryHall(cfg FactoryConfig) *Network {
 			queue = append(queue, c)
 		}
 	}
-	return &Network{
-		Name:      fmt.Sprintf("factory-%d", cfg.Nodes),
-		Topology:  pt,
-		Sink:      0,
-		Parent:    parent,
-		Positions: pos,
-	}
+	return parent
 }
 
 // RingNodeCounts reports the node counts the paper evaluates (Fig. 21/22).

@@ -270,6 +270,12 @@ type Scenario struct {
 	// SampleSeries enables per-superframe sampling of cumulative Q-values,
 	// exploration rates and queue levels.
 	SampleSeries bool
+	// SummaryOnly skips the per-node NodeResult slice: the run accumulates
+	// network-wide totals only, so result memory is O(1) in the node count.
+	// Result.Nodes stays nil; the network-level metrics (NetworkPDR,
+	// MeanDelaySeconds, Events) are unaffected. Incompatible with
+	// SampleSeries.
+	SummaryOnly bool
 	// MeasureFromSeconds restarts queue averaging at this instant.
 	MeasureFromSeconds float64
 	// Dynamics enables time-varying channels and node churn (nil = static).
@@ -493,6 +499,9 @@ func (s *Scenario) Validate() error {
 	}
 	if s.CaptureThresholdDB < 0 {
 		return fmt.Errorf("qma: CaptureThresholdDB=%g must not be negative (0 disables capture)", s.CaptureThresholdDB)
+	}
+	if s.SummaryOnly && s.SampleSeries {
+		return errors.New("qma: SummaryOnly is incompatible with SampleSeries (series are per-node results)")
 	}
 	if len(s.MACOptions) > 0 {
 		if _, err := s.resolveMACOptions(nil); err != nil {
@@ -745,6 +754,7 @@ func (s *Scenario) Run() (*Result, error) {
 		Faults:             s.Faults.internal(),
 		Barring:            s.Barring.internal(),
 		DropDeadline:       sim.FromSeconds(s.DropDeadlineSeconds),
+		SummaryOnly:        s.SummaryOnly,
 	}
 	cfg.DropPolicy, _ = mac.ParseDropPolicy(s.DropPolicy) // validated above
 	if s.SampleSeries {
