@@ -5,12 +5,15 @@
 //
 // Pinning the iteration count removes one source of run-to-run variance —
 // both measurements average over the same number of iterations — but shared
-// CI hardware still jitters, which is why the gate only watches the
+// CI hardware still jitters, which is why the gate watches the
 // allocation-free, CPU-bound microbenchmarks (kernel event dispatch, Q-table
 // updates, learner observations, medium transmit, the handshake matrix
-// solve) and not the end-to-end events/s benchmarks, whose variance exceeds
-// any usable tolerance. The end-to-end numbers stay visible in the CI logs
-// via plain benchtime=1x smoke steps.
+// solve, the sharded medium epoch) plus one deliberately short end-to-end
+// benchmark, the sharded-scheduler runner (BenchmarkRunShardedWorkers, ~100
+// ms/op — long enough to average out noise, short enough to rerun), and not
+// the long events/s benchmarks, whose variance exceeds any usable
+// tolerance. Those numbers stay visible in the CI logs via plain
+// benchtime=1x smoke steps.
 //
 // Usage:
 //
@@ -49,6 +52,9 @@ var gated = map[string][]string{
 	},
 	"./internal/radio": {
 		"BenchmarkShardedMediumCells",
+	},
+	"./internal/scenario": {
+		"BenchmarkRunShardedWorkers",
 	},
 }
 

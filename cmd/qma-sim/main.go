@@ -15,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -46,6 +48,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	mmtc := fs.Int("mmtc", 0, "run a multi-cell sharded city with this many devices instead of -topology (one sink per cell, boundary-interference exchange at beacon epochs)")
 	cellsSpec := fs.String("cells", "", "cell grid for -mmtc as XxY, e.g. 8x8 (default 4x4; 1x1 is monolithic-equivalent)")
 	parallel := fs.Int("parallel", 0, "worker pool driving -mmtc cells (0 = all cores; results are byte-identical for every value)")
+	lockstep := fs.Bool("lockstep", false, "drive -mmtc cells with the reference global-barrier scheduler instead of the dependency-driven one (profiling/equivalence; results are byte-identical)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile (after the run, post-GC) to this file")
 	summaryOnly := fs.Bool("summary-only", false, "skip per-node results: O(1) result memory, network totals only (plain and -scale paths)")
 	degree := fs.Float64("degree", 0, "factory-hall/city target mean decode degree (0 = default 10)")
 	dynamics := fs.Bool("dynamics", false, "enable link dynamics: a canned burst fade at -fade-node (see -fade-*)")
@@ -73,6 +78,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "qma-sim:", err)
 		return 1
+	}
+
+	// Profiles cover everything from here on (topology build included) and
+	// are finalized on every exit path. Files are created eagerly so a bad
+	// path fails before the simulation instead of after it.
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fail(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("-cpuprofile: %w", err))
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fail(fmt.Errorf("-memprofile: %w", err))
+		}
+		defer func() {
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "qma-sim: -memprofile:", err)
+			}
+			f.Close()
+		}()
 	}
 
 	mk, err := qma.ParseMAC(*macFlag)
@@ -110,10 +146,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if err != nil {
 			return fail(err)
 		}
-		return runMMTC(stdout, stderr, *mmtc, cx, cy, *degree, mk, rate, *duration, *warmup, *seed, *parallel)
+		return runMMTC(stdout, stderr, *mmtc, cx, cy, *degree, mk, rate, *duration, *warmup, *seed, *parallel, *lockstep)
 	}
 	if *cellsSpec != "" {
 		return fail(fmt.Errorf("-cells requires -mmtc"))
+	}
+	if *lockstep {
+		return fail(fmt.Errorf("-lockstep requires -mmtc"))
 	}
 
 	if *scale > 0 {
@@ -310,7 +349,7 @@ func parseCells(s string) (cx, cy int, err error) {
 // runMMTC drives the multi-cell sharded city and reports per-cell delivery
 // plus the network-wide tails, boundary coupling and simulator throughput.
 // Evaluation traffic starts at -warmup, like the -scale path.
-func runMMTC(stdout, stderr io.Writer, nodes, cx, cy int, degree float64, mk qma.MAC, delta, duration, warmup float64, seed uint64, parallel int) int {
+func runMMTC(stdout, stderr io.Writer, nodes, cx, cy int, degree float64, mk qma.MAC, delta, duration, warmup float64, seed uint64, parallel int, lockstep bool) int {
 	sc := &qma.MMTCScenario{
 		Nodes:           nodes,
 		CellsX:          cx,
@@ -322,6 +361,10 @@ func runMMTC(stdout, stderr io.Writer, nodes, cx, cy int, degree float64, mk qma
 		Rate:            delta,
 		StartSeconds:    warmup,
 		Parallel:        parallel,
+		Lockstep:        lockstep,
+	}
+	if lockstep {
+		fmt.Fprintln(stdout, "scheduler       lock-step reference (global epoch barrier)")
 	}
 	runStart := time.Now()
 	res, err := sc.Run()

@@ -10,13 +10,13 @@ import (
 )
 
 // BenchmarkShardedMediumCells measures the sharded hot path at the radio
-// layer: C independent cell mediums advanced in lockstep epochs, each epoch
+// layer: C independent cell mediums advanced epoch by epoch, each epoch
 // starting transmissions in every cell, mirroring the edge transmissions
 // into the next cell's busy accounting (ScheduleForeignBusy) and probing
 // CCA against the raised counters. One op is one epoch across all C cells —
-// the unit the scenario-level epoch driver repeats — so the ns/op must stay
-// ~linear in C for the scale-out to hold; the perf gate pins it against the
-// BENCH snapshot.
+// the unit both scenario-level schedulers (lock-step and dependency-driven)
+// repeat per cell — so the ns/op must stay ~linear in C for the scale-out
+// to hold; the perf gate pins it against the BENCH snapshot.
 func BenchmarkShardedMediumCells(b *testing.B) {
 	const nodesPerCell = 64
 	const epoch = 5 * sim.Millisecond

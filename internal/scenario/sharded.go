@@ -1,14 +1,31 @@
 // Sharded multi-cell execution: the mMTC scale-out path. A topo.City is run
 // as one sub-simulation per cell — each cell owns its kernel, medium, CSR
 // link arrays, busy counters, engines and traffic, so cells park on
-// different cores with zero shared mutable state. Cells advance in lockstep
-// epochs (one beacon interval by default) on a worker pool; at each epoch
-// barrier the edge-node transmissions recorded during the epoch are
-// exchanged in deterministic cell order and mirrored into the neighbouring
-// shards' busy accounting (radio.Medium.ScheduleForeignBusy) one epoch
-// later. Interior nodes never synchronize; determinism holds for every
-// worker count because workers only ever touch their own cell and the
-// exchange happens single-threaded at the barrier.
+// different cores with zero shared mutable state. Cells advance in epochs
+// (one beacon interval by default); the edge-node transmissions recorded
+// during an epoch are mirrored into the neighbouring shards' busy
+// accounting (radio.Medium.ScheduleForeignBusy) one epoch later.
+//
+// Two schedulers drive the epochs. The default is dependency-driven:
+// persistent workers (stats.RunPool) and a per-cell epoch counter where
+// cell c may run epoch e as soon as each of its grid neighbours finished
+// epoch e−1 — exactly the synchronization the one-epoch mirroring lag
+// licenses — so interior cells run up to an epoch ahead of a slow hot cell
+// instead of idling at a global barrier. Ready cells are dequeued
+// largest-estimated-work-first (estimate = the cell's previous epoch's
+// kernel events) with worker affinity, so the critical path starts early
+// and a cell tends to re-run on the worker whose cache holds its arena.
+// ShardedConfig.Lockstep selects the original scheduler — a global barrier
+// per epoch with a single-threaded exchange — which stays pinned as the
+// reference in the equivalence tests.
+//
+// Both schedulers produce byte-identical results for every worker count.
+// Workers only ever touch their own cell's state, and the injections a cell
+// applies at epoch e are deterministic: each pending inbox batch is tagged
+// with its source cell and epoch, only batches tagged e−1 are folded, and
+// they fold sorted by source-cell id (each batch internally in outbox
+// order) — exactly the order the lock-step coordinator's cell-order
+// exchange produces, independent of worker arrival.
 //
 // The one-epoch mirroring lag is the model's fidelity trade: cross-cell
 // energy reaches a neighbour cell's CCA one beacon interval late. It is
@@ -20,6 +37,8 @@ package scenario
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 
 	"qma/internal/frame"
 	"qma/internal/radio"
@@ -63,6 +82,13 @@ type ShardedConfig struct {
 	// Parallel bounds the worker pool driving the cells (0 = GOMAXPROCS,
 	// 1 = sequential). Results are byte-identical for every value.
 	Parallel int
+	// Lockstep selects the reference scheduler: a global barrier per epoch
+	// with a single-threaded boundary exchange. The default (false) is the
+	// dependency-driven scheduler, which produces byte-identical results
+	// without the barrier (the equivalence tests pin the two against each
+	// other); Lockstep exists as the trusted baseline for those tests and
+	// for profiling scheduler overhead.
+	Lockstep bool
 	// Superframe overrides the DSME timing (zero value selects the default).
 	Superframe superframe.Config
 	// EventBudget truncates each cell after this many kernel events when
@@ -207,6 +233,18 @@ type foreignInj struct {
 	start, end sim.Time
 }
 
+// inboxBatch is one source cell's epoch-worth of injections for one target
+// cell, pending folding. The (srcCell, epoch) tag is what makes the
+// dependency-driven exchange deterministic: a target running epoch e folds
+// exactly the batches tagged e−1, sorted by srcCell — a batch a fast
+// neighbour pushed early (tagged e) stays pending until the target reaches
+// epoch e+1, whatever order workers delivered them in.
+type inboxBatch struct {
+	srcCell int32
+	epoch   int
+	inj     []foreignInj
+}
+
 // shardCell is one cell's live state during a sharded run.
 type shardCell struct {
 	run     *run
@@ -214,7 +252,18 @@ type shardCell struct {
 	delay   stats.Digest
 	windows *stats.Windowed
 	outbox  []edgeTX
-	inbox   []foreignInj
+	// inbox is the lock-step scheduler's injection buffer: filled by the
+	// single-threaded exchange, drained at the next epoch's start.
+	inbox []foreignInj
+	// inboxMu guards pending, the dependency-driven scheduler's tagged
+	// batches: neighbours append concurrently as they finish their epochs,
+	// the cell's own job extracts its due batches at epoch start. These are
+	// the only cross-cell writes in that mode.
+	inboxMu sync.Mutex
+	pending []inboxBatch
+	// prevEvents remembers the kernel event count at the last epoch end, so
+	// the scheduler prices the next epoch at the previous epoch's work.
+	prevEvents uint64
 	// failed latches a panic inside this cell's epoch job: the kernel state
 	// is unrecoverable, so the retry the worker pool would attempt must
 	// re-panic instead of silently resuming a corrupt simulation.
@@ -324,11 +373,75 @@ func RunSharded(cfg ShardedConfig) *ShardedResult {
 		})
 	}
 
-	// Epoch loop: cells advance independently to the barrier, then the
-	// coordinator exchanges the recorded edge transmissions in cell order —
-	// single-threaded, so the injection schedule (and with it the whole run)
-	// is byte-identical for every worker count.
+	if cfg.Lockstep {
+		runShardedLockstep(cfg, cells, res, epoch, edgeTargets)
+	} else {
+		neighbors := city.NeighborCells
+		if cfg.edgeTargets != nil {
+			// The boundary enumeration is overridden (tests), so the CSR-derived
+			// adjacency cannot be trusted to match it; fall back to the complete
+			// cell graph, which is conservative — extra dependencies only cost
+			// lookahead, never correctness.
+			all := make([][]int32, len(cells))
+			for c := range all {
+				for o := range cells {
+					if o != c {
+						all[c] = append(all[c], int32(o))
+					}
+				}
+			}
+			neighbors = func(c int) []int32 { return all[c] }
+		}
+		runShardedDep(cfg, cells, res, epoch, neighbors, edgeTargets)
+	}
+
+	for c, sc := range cells {
+		sc.run.collect()
+		cr := &res.Cells[c]
+		cr.Cell = c
+		cr.Nodes = city.Cells[c].NumNodes()
+		cr.Routed = sc.routed
+		s := sc.run.result.Summary
+		cr.Generated, cr.Delivered, cr.DelaySum = s.Generated, s.Delivered, s.DelaySum
+		cr.Delay = sc.delay
+		cr.Windows = sc.windows.Windows()
+		for i := 0; i < cr.Nodes; i++ {
+			cr.Radio.Accumulate(sc.run.medium.Stats(frame.NodeID(i)))
+		}
+		cr.Events = sc.run.result.Events
+		cr.Truncated = sc.run.result.Truncated
+		res.Events += cr.Events
+		res.Truncated = res.Truncated || cr.Truncated
+	}
+	return res
+}
+
+// totalEpochs counts the epoch intervals covering the duration — the epoch
+// budget both schedulers run to (the last interval may be short).
+func totalEpochs(duration, epoch sim.Time) int {
+	return int((duration + epoch - 1) / epoch)
+}
+
+// runShardedLockstep drives the cells with the reference scheduler: one
+// global barrier per epoch, then a single-threaded exchange of the recorded
+// edge transmissions in cell order — trivially deterministic for every
+// worker count, and the baseline the dependency-driven scheduler is pinned
+// against. It exits early once every cell has exhausted its event budget
+// (res.Epochs counts only epochs in which some cell could still run, which
+// keeps it equal to the dependency scheduler's max per-cell epoch count).
+func runShardedLockstep(cfg ShardedConfig, cells []*shardCell, res *ShardedResult, epoch sim.Time,
+	edgeTargets func(cell int, src frame.NodeID) []topo.BoundaryTarget) {
 	for now := sim.Time(0); now < cfg.Duration; {
+		allExhausted := true
+		for _, sc := range cells {
+			if !sc.run.kernel.BudgetExhausted() {
+				allExhausted = false
+				break
+			}
+		}
+		if allExhausted {
+			break
+		}
 		end := now + epoch
 		if end > cfg.Duration {
 			end = cfg.Duration
@@ -379,24 +492,178 @@ func RunSharded(cfg ShardedConfig) *ShardedResult {
 		res.Epochs++
 		now = end
 	}
+}
 
-	for c, sc := range cells {
-		sc.run.collect()
-		cr := &res.Cells[c]
-		cr.Cell = c
-		cr.Nodes = city.Cells[c].NumNodes()
-		cr.Routed = sc.routed
-		s := sc.run.result.Summary
-		cr.Generated, cr.Delivered, cr.DelaySum = s.Generated, s.Delivered, s.DelaySum
-		cr.Delay = sc.delay
-		cr.Windows = sc.windows.Windows()
-		for i := 0; i < cr.Nodes; i++ {
-			cr.Radio.Accumulate(sc.run.medium.Stats(frame.NodeID(i)))
-		}
-		cr.Events = sc.run.result.Events
-		cr.Truncated = sc.run.result.Truncated
-		res.Events += cr.Events
-		res.Truncated = res.Truncated || cr.Truncated
+// runShardedDep drives the cells with the dependency-driven scheduler on a
+// persistent worker pool: cell c may run epoch e as soon as every neighbour
+// finished epoch e−1 (or can never reach it because its budget ran out), so
+// no cell ever waits on a non-neighbour and adjacent cells skew by at most
+// one epoch. One pool item = one (cell, epoch); completing an epoch
+// advances the cell's counter and re-evaluates readiness for the cell and
+// its neighbours — the only cells whose readiness that completion can have
+// changed, since the adjacency is symmetric.
+//
+// Determinism: the epoch job touches only its own cell's state except for
+// appending one (srcCell, epoch)-tagged batch per neighbouring inbox under
+// that inbox's lock; the fold at epoch start selects exactly the batches
+// tagged e−1 and sorts them by source cell, reproducing the lock-step
+// coordinator's cell-order exchange regardless of arrival order. Budget
+// equivalence: the lock-step exchange skips targets already exhausted at
+// the barrier, while this scheduler always publishes and instead never
+// schedules an exhausted cell again — its pending batches are simply never
+// folded, so per-cell ForeignBusy counts match.
+func runShardedDep(cfg ShardedConfig, cells []*shardCell, res *ShardedResult, epoch sim.Time,
+	neighbors func(cell int) []int32,
+	edgeTargets func(cell int, src frame.NodeID) []topo.BoundaryTarget) {
+	total := totalEpochs(cfg.Duration, epoch)
+	workers := stats.Workers(cfg.Parallel)
+	if workers > len(cells) {
+		workers = len(cells)
 	}
-	return res
+
+	// Scheduler state, guarded by schedMu. done[c] counts c's completed
+	// epochs; queued marks a cell with an item pushed but not completed, so
+	// readiness re-evaluation never double-schedules; prio and lastWorker
+	// carry the work estimate and arena affinity into the next item.
+	var schedMu sync.Mutex
+	done := make([]int, len(cells))
+	queued := make([]bool, len(cells))
+	exhausted := make([]bool, len(cells))
+	prio := make([]uint64, len(cells))
+	lastWorker := make([]int, len(cells))
+
+	// Every cell is ready for epoch 0; price it at the routed source count
+	// (the only load signal before any epoch ran) and spread affinity
+	// round-robin.
+	initial := make([]stats.Item, len(cells))
+	for c, sc := range cells {
+		queued[c] = true
+		prio[c] = uint64(sc.routed)
+		lastWorker[c] = c % workers
+		initial[c] = stats.Item{ID: c, Priority: prio[c], Affinity: lastWorker[c]}
+	}
+
+	job := func(w, c int) []stats.Item {
+		sc := cells[c]
+		if sc.failed {
+			panic(sc.failure) // poisoned by an earlier panic: do not resume
+		}
+		defer func() {
+			if v := recover(); v != nil {
+				sc.failed, sc.failure = true, v
+				panic(v)
+			}
+		}()
+		schedMu.Lock()
+		e := done[c]
+		schedMu.Unlock()
+
+		// Fold the injections due this epoch: extract under the inbox lock,
+		// then apply outside it in deterministic order.
+		if e > 0 {
+			sc.inboxMu.Lock()
+			var fold []inboxBatch
+			rest := sc.pending[:0]
+			for _, b := range sc.pending {
+				if b.epoch == e-1 {
+					fold = append(fold, b)
+				} else {
+					rest = append(rest, b)
+				}
+			}
+			sc.pending = rest
+			sc.inboxMu.Unlock()
+			sort.Slice(fold, func(a, b int) bool { return fold[a].srcCell < fold[b].srcCell })
+			for _, b := range fold {
+				for _, inj := range b.inj {
+					sc.run.medium.ScheduleForeignBusy(inj.node, inj.channel, inj.start, inj.end)
+				}
+				res.Cells[c].ForeignBusy += uint64(len(b.inj))
+			}
+		}
+
+		end := sim.Time(e+1) * epoch
+		if end > cfg.Duration {
+			end = cfg.Duration
+		}
+		sc.run.kernel.Run(end)
+
+		// Publish this epoch's outbox as one tagged batch per target cell,
+		// preserving outbox order within each batch. This runs even when the
+		// budget just ran out — the lock-step exchange also forwards the
+		// exhausting epoch's transmissions.
+		if len(sc.outbox) > 0 {
+			byDst := map[int32][]foreignInj{}
+			var order []int32
+			for _, tx := range sc.outbox {
+				for _, tgt := range edgeTargets(c, tx.src) {
+					if _, ok := byDst[tgt.Cell]; !ok {
+						order = append(order, tgt.Cell)
+					}
+					byDst[tgt.Cell] = append(byDst[tgt.Cell], foreignInj{
+						node:    tgt.Node,
+						channel: tx.channel,
+						start:   tx.start + epoch,
+						end:     tx.end + epoch,
+					})
+				}
+			}
+			for _, dc := range order {
+				dst := cells[dc]
+				dst.inboxMu.Lock()
+				dst.pending = append(dst.pending, inboxBatch{srcCell: int32(c), epoch: e, inj: byDst[dc]})
+				dst.inboxMu.Unlock()
+			}
+			sc.outbox = sc.outbox[:0]
+		}
+
+		ev := sc.run.kernel.Processed()
+		delta := ev - sc.prevEvents
+		sc.prevEvents = ev
+
+		schedMu.Lock()
+		defer schedMu.Unlock()
+		done[c] = e + 1
+		queued[c] = false
+		exhausted[c] = sc.run.kernel.BudgetExhausted()
+		prio[c] = delta
+		lastWorker[c] = w
+		var pushes []stats.Item
+		consider := func(m int) {
+			if queued[m] || exhausted[m] || done[m] >= total || cells[m].failed {
+				return
+			}
+			for _, n := range neighbors(m) {
+				// A neighbour that can never reach done[m] epochs (budget ran
+				// out earlier) stops constraining m — it will produce no more
+				// batches, exactly like its empty epochs in lock-step.
+				if done[n] < done[m] && !exhausted[n] {
+					return
+				}
+			}
+			queued[m] = true
+			pushes = append(pushes, stats.Item{ID: m, Priority: prio[m], Affinity: lastWorker[m]})
+		}
+		consider(c)
+		for _, n := range neighbors(c) {
+			consider(int(n))
+		}
+		return pushes
+	}
+
+	if errs := stats.RunPool(workers, initial, job); errs != nil {
+		panic(fmt.Sprintf("scenario: sharded epoch failed: %v", errs[0]))
+	}
+
+	// The pool drained: every cell must have either run all its epochs or
+	// stopped on an exhausted budget — anything else is a scheduler bug, and
+	// silently returning would hand out a partial result.
+	for c := range cells {
+		if done[c] < total && !exhausted[c] {
+			panic(fmt.Sprintf("scenario: sharded scheduler stalled: cell %d stopped at epoch %d of %d", c, done[c], total))
+		}
+		if done[c] > res.Epochs {
+			res.Epochs = done[c]
+		}
+	}
 }

@@ -1,0 +1,143 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+
+	"qma/internal/sim"
+	"qma/internal/topo"
+)
+
+// TestShardedDependencyMatchesLockstep is the scheduler-equivalence
+// contract: the dependency-driven scheduler must be byte-identical to the
+// lock-step reference — per-cell events, digests, windows, radio counters,
+// foreign-busy counts, epoch count — at every worker count.
+func TestShardedDependencyMatchesLockstep(t *testing.T) {
+	city := topo.NewCity(topo.CityConfig{Nodes: 280, CellsX: 2, CellsY: 2, Seed: 21})
+	cfg := ShardedConfig{
+		City:     city,
+		Seed:     21,
+		Duration: 2 * sim.Second,
+		Rate:     2.0,
+		StartAt:  sim.Second / 2,
+		Lockstep: true,
+		Parallel: 1,
+	}
+	ref := RunSharded(cfg)
+	if ref.NetworkPDR() <= 0 || ref.Events == 0 {
+		t.Fatalf("degenerate reference run: PDR %v, events %d", ref.NetworkPDR(), ref.Events)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		dep := cfg
+		dep.Lockstep = false
+		dep.Parallel = workers
+		got := RunSharded(dep)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("dependency-driven run (parallel=%d) differs from lock-step reference:\n%+v\n%+v",
+				workers, got, ref)
+		}
+	}
+}
+
+// TestShardedHotCellDeterministic pins the scheduler on the workload it was
+// built for: one cell with roughly 10× the per-cell load of the others, so
+// under lock-step every other cell idles at the barrier while the hot cell
+// finishes. The result must still be byte-identical across worker counts
+// and against the lock-step reference. Runs in -short so CI exercises it
+// under -race.
+func TestShardedHotCellDeterministic(t *testing.T) {
+	city := topo.NewCity(topo.CityConfig{
+		Nodes: 240, CellsX: 2, CellsY: 2, Seed: 33,
+		HotspotCell: 0, HotspotFraction: 0.7,
+	})
+	hot, rest := city.Cells[0].NumNodes(), 0
+	for _, net := range city.Cells[1:] {
+		rest += net.NumNodes()
+	}
+	if hot*2 < rest*3 {
+		t.Fatalf("hotspot cell holds %d nodes vs %d elsewhere — not imbalanced enough", hot, rest)
+	}
+	cfg := ShardedConfig{
+		City:     city,
+		Seed:     33,
+		Duration: 2 * sim.Second,
+		Rate:     2.0,
+		StartAt:  sim.Second / 2,
+		Lockstep: true,
+		Parallel: 1,
+	}
+	ref := RunSharded(cfg)
+	if ref.NetworkPDR() <= 0 {
+		t.Fatalf("degenerate run: PDR %v", ref.NetworkPDR())
+	}
+	for _, workers := range []int{1, 2, 4} {
+		dep := cfg
+		dep.Lockstep = false
+		dep.Parallel = workers
+		got := RunSharded(dep)
+		if !reflect.DeepEqual(got, ref) {
+			t.Errorf("hot-cell run (parallel=%d) differs from lock-step reference:\n%+v\n%+v",
+				workers, got, ref)
+		}
+	}
+}
+
+// TestShardedBudgetEarlyExit pins the early-exit satellite: once every
+// cell's event budget is exhausted the epoch loop must stop instead of
+// spinning empty epochs to Duration, in both schedulers, with identical
+// truncated results and epoch counts.
+func TestShardedBudgetEarlyExit(t *testing.T) {
+	city := topo.NewCity(topo.CityConfig{Nodes: 240, CellsX: 2, CellsY: 2, Seed: 4})
+	cfg := ShardedConfig{
+		City:        city,
+		Seed:        4,
+		Duration:    30 * sim.Second,
+		Rate:        2.0,
+		StartAt:     sim.Second / 4,
+		EventBudget: 20_000,
+		Lockstep:    true,
+		Parallel:    2,
+	}
+	ref := RunSharded(cfg)
+	if !ref.Truncated {
+		t.Fatal("budget did not truncate the run; raise Duration or lower EventBudget")
+	}
+	total := totalEpochs(cfg.Duration, ref.EpochLen)
+	if ref.Epochs >= total {
+		t.Fatalf("lock-step ran %d epochs of %d despite exhausted budgets — no early exit", ref.Epochs, total)
+	}
+	dep := cfg
+	dep.Lockstep = false
+	got := RunSharded(dep)
+	if !reflect.DeepEqual(got, ref) {
+		t.Errorf("truncated dependency-driven run differs from lock-step reference:\n%+v\n%+v", got, ref)
+	}
+	for i := range ref.Cells {
+		if !ref.Cells[i].Truncated {
+			t.Errorf("cell %d not truncated — early exit should only fire once every cell is done", i)
+		}
+	}
+}
+
+// TestShardedLockstepFullDurationEpochs pins that a run whose budget never
+// exhausts still executes every epoch interval (the early exit must not
+// fire spuriously) and that both schedulers agree on the count.
+func TestShardedLockstepFullDurationEpochs(t *testing.T) {
+	city := topo.NewCity(topo.CityConfig{Nodes: 120, CellsX: 1, CellsY: 1, Seed: 2})
+	cfg := ShardedConfig{
+		City:     city,
+		Seed:     2,
+		Duration: sim.Second,
+		Rate:     1.0,
+		Lockstep: true,
+	}
+	ref := RunSharded(cfg)
+	if want := totalEpochs(cfg.Duration, ref.EpochLen); ref.Epochs != want {
+		t.Fatalf("lock-step executed %d epochs, want %d", ref.Epochs, want)
+	}
+	dep := cfg
+	dep.Lockstep = false
+	if got := RunSharded(dep); got.Epochs != ref.Epochs {
+		t.Fatalf("dependency-driven executed %d epochs, lock-step %d", got.Epochs, ref.Epochs)
+	}
+}

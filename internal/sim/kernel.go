@@ -200,12 +200,16 @@ func (k *Kernel) Processed() uint64 { return k.processed }
 // (cancelled entries awaiting compaction are excluded).
 func (k *Kernel) Live() int { return k.queued - k.canceledQueued }
 
-// SetBudget bounds every subsequent Run call: after maxEvents processed
-// events (0 = unlimited) or maxWall of real time (0 = unlimited, checked
-// every 4096 events) the run stops early and BudgetExhausted reports true.
-// This is the opt-in guard for replicated sweeps — a runaway replication is
-// truncated and marked instead of hanging the whole sweep. An event budget
-// keeps truncation deterministic; a wall-clock budget does not.
+// SetBudget bounds the kernel's remaining work: once the lifetime processed
+// count reaches maxEvents (0 = unlimited), or a single Run call spends
+// maxWall of real time (0 = unlimited, checked every 4096 events), the run
+// stops early and BudgetExhausted reports true. The event budget is
+// cumulative across Run calls, so a driver stepping the kernel in epochs
+// (the sharded scheduler) truncates at the same event as one continuous
+// Run. This is the opt-in guard for replicated sweeps — a runaway
+// replication is truncated and marked instead of hanging the whole sweep.
+// An event budget keeps truncation deterministic; a wall-clock budget does
+// not.
 func (k *Kernel) SetBudget(maxEvents uint64, maxWall time.Duration) {
 	k.budgetEvents = maxEvents
 	k.budgetWall = maxWall
@@ -555,7 +559,7 @@ func (k *Kernel) Run(until Time) {
 				k.requeueBatch()
 				break
 			}
-			if k.budgetEvents > 0 && fired >= k.budgetEvents {
+			if k.budgetEvents > 0 && k.processed >= k.budgetEvents {
 				k.budgetHit = true
 				k.requeueBatch()
 				break
@@ -598,7 +602,7 @@ func (k *Kernel) Run(until Time) {
 		if len(k.heap) == 0 || k.stopped {
 			break
 		}
-		if k.budgetEvents > 0 && fired >= k.budgetEvents {
+		if k.budgetEvents > 0 && k.processed >= k.budgetEvents {
 			k.budgetHit = true
 			break
 		}

@@ -380,10 +380,19 @@ func TestKernelEventBudget(t *testing.T) {
 	if !k.BudgetExhausted() {
 		t.Fatal("BudgetExhausted() false after truncation")
 	}
-	// The budget latches per Run call; a fresh Run continues the chain.
+	// The event budget is cumulative across Run calls: a fresh Run against
+	// the same exhausted budget makes no progress (this is what lets the
+	// sharded scheduler's epoch-sized Runs truncate at the same event as one
+	// continuous Run would).
 	k.RunAll()
-	if fired != 20 {
-		t.Fatalf("second Run fired up to %d, want 20", fired)
+	if fired != 10 {
+		t.Fatalf("second Run against an exhausted budget fired up to %d, want 10", fired)
+	}
+	// Raising the budget resumes the chain from where it stopped.
+	k.SetBudget(25, 0)
+	k.RunAll()
+	if fired != 25 {
+		t.Fatalf("after raising the budget, fired up to %d, want 25", fired)
 	}
 }
 

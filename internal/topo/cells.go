@@ -37,6 +37,14 @@ type CityConfig struct {
 	PathLoss radio.PathLossConfig
 	// Seed draws the node placement; same seed, same city.
 	Seed uint64
+	// HotspotCell and HotspotFraction skew the device placement for
+	// imbalanced-load experiments: when HotspotFraction > 0, that fraction of
+	// the devices is drawn uniformly inside HotspotCell's rectangle instead
+	// of the whole city, so one cell carries a multiple of the average load.
+	// The zero value changes nothing — not even the rng stream — so existing
+	// seeds keep producing byte-identical cities.
+	HotspotCell     int
+	HotspotFraction float64
 }
 
 // BoundaryTarget is the far end of one boundary-interference link: a node
@@ -69,6 +77,11 @@ type City struct {
 	// node s has boundary targets edgeDst[c][edgeOff[c][s]:edgeOff[c][s+1]].
 	edgeOff [][]int32
 	edgeDst [][]BoundaryTarget
+	// neighbors[c] lists, ascending, the cells that share at least one
+	// boundary link with c. Links are symmetric (the sense predicate is a
+	// distance threshold), so this is both "who c disturbs" and "who
+	// disturbs c".
+	neighbors [][]int32
 	// boundary is the total boundary link count.
 	boundary int
 }
@@ -89,6 +102,15 @@ func (c *City) BoundaryLinks() int { return c.boundary }
 func (c *City) EdgeTargets(cell int, src frame.NodeID) []BoundaryTarget {
 	off := c.edgeOff[cell]
 	return c.edgeDst[cell][off[src]:off[src+1]]
+}
+
+// NeighborCells lists, in ascending order, the cells that share at least one
+// boundary-interference link with the given cell — the exact dependency set
+// a scheduler must respect, since only these cells exchange busy windows
+// with it. The relation is symmetric. The returned slice is shared — callers
+// must not mutate it.
+func (c *City) NeighborCells(cell int) []int32 {
+	return c.neighbors[cell]
 }
 
 // EdgeNodes reports how many of cell's nodes have at least one boundary
@@ -145,6 +167,12 @@ func NewCity(cfg CityConfig) *City {
 	if cfg.PathLoss.PathLossExponent <= 0 {
 		panic("topo: City requires a positive PathLossExponent")
 	}
+	if cfg.HotspotFraction < 0 || cfg.HotspotFraction >= 1 {
+		panic(fmt.Sprintf("topo: City HotspotFraction must be in [0,1), got %g", cfg.HotspotFraction))
+	}
+	if cfg.HotspotFraction > 0 && (cfg.HotspotCell < 0 || cfg.HotspotCell >= cells) {
+		panic(fmt.Sprintf("topo: City HotspotCell %d out of range for %d cells", cfg.HotspotCell, cells))
+	}
 
 	// Area from the decode range and the target degree, exactly like
 	// FactoryHall; square cells tile it.
@@ -183,7 +211,19 @@ func NewCity(cfg CityConfig) *City {
 		global = append(global, placed{cellPos[cell][0], int32(cell), 0})
 	}
 	for i := 0; i < devices; i++ {
-		p := radio.Position{X: rng.Float64() * c.Width, Y: rng.Float64() * c.Height}
+		var p radio.Position
+		if cfg.HotspotFraction > 0 && rng.Float64() < cfg.HotspotFraction {
+			// Hotspot draw: uniform inside the hotspot cell's rectangle. The
+			// gating draw only happens when the feature is on, so fraction 0
+			// consumes the stream exactly like before.
+			hx, hy := cfg.HotspotCell%cfg.CellsX, cfg.HotspotCell/cfg.CellsX
+			p = radio.Position{
+				X: (float64(hx) + rng.Float64()) * c.CellW,
+				Y: (float64(hy) + rng.Float64()) * c.CellH,
+			}
+		} else {
+			p = radio.Position{X: rng.Float64() * c.Width, Y: rng.Float64() * c.Height}
+		}
 		cx := min(int(p.X/c.CellW), cfg.CellsX-1)
 		cy := min(int(p.Y/c.CellH), cfg.CellsY-1)
 		cell := cy*cfg.CellsX + cx
@@ -322,5 +362,26 @@ func (c *City) buildBoundary(global []placed) {
 		c.edgeOff[cell] = off
 		c.edgeDst[cell] = dst
 		c.boundary += len(links)
+	}
+
+	// Derive the cell adjacency from the links themselves rather than grid
+	// geometry: a wide sense range can reach past the 8 surrounding grid
+	// cells, and the scheduler must see every cell it actually exchanges
+	// interference with.
+	c.neighbors = make([][]int32, cells)
+	seen := make([]bool, cells)
+	for cell := 0; cell < cells; cell++ {
+		for i := range seen {
+			seen[i] = false
+		}
+		var ns []int32
+		for _, dst := range c.edgeDst[cell] {
+			if !seen[dst.Cell] {
+				seen[dst.Cell] = true
+				ns = append(ns, dst.Cell)
+			}
+		}
+		sort.Slice(ns, func(a, b int) bool { return ns[a] < ns[b] })
+		c.neighbors[cell] = ns
 	}
 }

@@ -45,6 +45,10 @@ type MMTCScenario struct {
 	// Parallel bounds the worker pool driving the cells (0 = GOMAXPROCS).
 	// Results are byte-identical for every value.
 	Parallel int
+	// Lockstep selects the reference barrier scheduler instead of the
+	// default dependency-driven one. Results are byte-identical either way;
+	// the flag exists for equivalence checks and scheduler profiling.
+	Lockstep bool
 	// SummaryOnly is implied: the sharded runner never materializes per-node
 	// results — result memory is O(cells + windows).
 }
@@ -139,6 +143,7 @@ func (s *MMTCScenario) Run() (*MMTCResult, error) {
 		Epoch:      sim.FromSeconds(s.EpochSeconds),
 		Window:     sim.FromSeconds(s.WindowSeconds),
 		Parallel:   s.Parallel,
+		Lockstep:   s.Lockstep,
 	})
 
 	delay := res.DelayDigest()
